@@ -1,0 +1,112 @@
+"""S4 — ablations of the design choices DESIGN.md calls out.
+
+* typing guard on/off: answer soundness (Example 7's unsound loops) and cost;
+* tags on/off: termination (off diverges — measured as budget-trip cost);
+* maximal-identification filter on/off: answer counts;
+* redundancy elimination on/off: answer counts;
+* transformation style standard vs. modified: cost and answer vocabulary.
+"""
+
+import pytest
+
+from repro.core import describe, run_algorithm2
+from repro.core.search import SearchConfig
+from repro.core.algorithm1 import algorithm1_config, run_algorithm1
+from repro.errors import SearchBudgetExceeded
+from repro.lang.parser import parse_atom, parse_body
+from conftest import report
+
+
+E7_SUBJECT = "prior(X, Y)"
+E7_HYP = "prior(X, databases)"
+
+
+def test_ablation_typing_guard(uni_session):
+    with_guard, stats_on = run_algorithm2(
+        uni_session, parse_atom(E7_SUBJECT), parse_body(E7_HYP)
+    )
+    without_guard, stats_off = run_algorithm2(
+        uni_session,
+        parse_atom(E7_SUBJECT),
+        parse_body(E7_HYP),
+        config=SearchConfig(use_tags=True, typing_guard=False),
+    )
+    report("S4 typing guard ablation (Example 7)", [
+        f"guard on : {len(with_guard)} raw answers, "
+        f"{stats_on.typing_rejections} rejections",
+        f"guard off: {len(without_guard)} raw answers (incl. unsound loops)",
+    ])
+    assert len(without_guard) > len(with_guard)
+
+
+def test_ablation_maximal_identification(uni_session):
+    subject = parse_atom("can_ta(X, Y)")
+    hypothesis = parse_body("honor(X) and teach(susan, Y)")
+    filtered = describe(uni_session, subject, hypothesis)
+    unfiltered = describe(
+        uni_session,
+        subject,
+        hypothesis,
+        config=SearchConfig(
+            use_tags=False, typing_guard=False, maximal_identification=False
+        ),
+        algorithm="algorithm1",
+    )
+    report("S4 maximal-identification ablation (Example 5)", [
+        f"filter on : {len(filtered.answers)} answers (the paper's listing)",
+        f"filter off: {len(unfiltered.answers)} answers (all sound variants)",
+    ])
+    assert len(unfiltered.answers) >= len(filtered.answers)
+
+
+@pytest.mark.parametrize("typing_guard", [True, False])
+def bench_typing_guard(benchmark, uni_session, typing_guard):
+    subject = parse_atom(E7_SUBJECT)
+    hypothesis = parse_body(E7_HYP)
+    config = SearchConfig(use_tags=True, typing_guard=typing_guard)
+
+    def run():
+        return run_algorithm2(uni_session, subject, hypothesis, config=config)
+
+    answers, _stats = benchmark(run)
+    assert answers
+
+
+@pytest.mark.parametrize("maximal", [True, False])
+def bench_identification_filter(benchmark, uni_session, maximal):
+    subject = parse_atom("can_ta(X, Y)")
+    hypothesis = parse_body("honor(X) and teach(susan, Y)")
+    config = SearchConfig(
+        use_tags=False, typing_guard=False, maximal_identification=maximal
+    )
+    result = benchmark(
+        describe, uni_session, subject, hypothesis, "algorithm1", "standard", config
+    )
+    assert result.answers
+
+
+@pytest.mark.parametrize("style", ["standard", "modified"])
+def bench_transformation_style(benchmark, uni_session, style):
+    subject = parse_atom("prior(X, Y)")
+    hypothesis = parse_body("prior(databases, Y)")
+    result = benchmark(describe, uni_session, subject, hypothesis, "auto", style)
+    assert result.answers
+
+
+def bench_tags_off_until_budget(benchmark, uni_session):
+    """Tags off = Algorithm 1 on recursion: cost of hitting a 2k-step budget."""
+
+    def run():
+        try:
+            run_algorithm1(
+                uni_session,
+                parse_atom("prior(X, Y)"),
+                parse_body("prior(databases, Y)"),
+                config=algorithm1_config(max_steps=2_000),
+                check_precondition=False,
+            )
+        except SearchBudgetExceeded as error:
+            return error
+        raise AssertionError("expected divergence")
+
+    assert isinstance(benchmark(run), SearchBudgetExceeded)

@@ -1,0 +1,102 @@
+"""E3/E4/E5 — Algorithm 1 describe queries, plus describe scaling (S2).
+
+Regenerates the paper's knowledge answers and times them; the scaling
+studies sweep derivation depth, rule fanout, alternative-rule breadth and
+hypothesis size on synthetic rule bases.
+"""
+
+import pytest
+
+from repro.core import describe
+from repro.datasets import hypothesis_of_size, rule_chain_kb, rule_tree_kb, wide_union_kb
+from repro.lang.parser import parse_atom, parse_body
+from conftest import report
+
+
+def test_e3_answer(uni_session):
+    result = describe(
+        uni_session,
+        parse_atom("can_ta(X, databases)"),
+        parse_body("student(X, math, V) and (V > 3.7)"),
+    )
+    report("E3: describe can_ta(X, databases) where math and GPA > 3.7",
+           (str(a) for a in result.answers))
+    assert len(result.answers) == 2
+
+
+def test_e4_answer(uni_session):
+    result = describe(uni_session, parse_atom("honor(X)"))
+    report("E4: describe honor(X)", (str(a) for a in result.answers))
+    assert [str(a) for a in result.answers] == [
+        "honor(X) <- student(X, Y, Z) and (Z > 3.7)."
+    ]
+
+
+def test_e5_answer(uni_session):
+    result = describe(
+        uni_session,
+        parse_atom("can_ta(X, Y)"),
+        parse_body("honor(X) and teach(susan, Y)"),
+    )
+    report("E5: describe can_ta(X, Y) where honor(X) and teach(susan, Y)",
+           (str(a) for a in result.answers))
+    assert len(result.answers) == 2
+
+
+def bench_e3(benchmark, uni_session):
+    subject = parse_atom("can_ta(X, databases)")
+    hypothesis = parse_body("student(X, math, V) and (V > 3.7)")
+    result = benchmark(describe, uni_session, subject, hypothesis)
+    assert len(result.answers) == 2
+
+
+def bench_e4(benchmark, uni_session):
+    result = benchmark(describe, uni_session, parse_atom("honor(X)"))
+    assert len(result.answers) == 1
+
+
+def bench_e5(benchmark, uni_session):
+    subject = parse_atom("can_ta(X, Y)")
+    hypothesis = parse_body("honor(X) and teach(susan, Y)")
+    result = benchmark(describe, uni_session, subject, hypothesis)
+    assert len(result.answers) == 2
+
+
+@pytest.mark.parametrize("depth", [2, 4, 8, 16])
+def bench_describe_chain_depth(benchmark, depth):
+    """S2a: describe cost vs. derivation-tree depth."""
+    kb = rule_chain_kb(depth=depth)
+    subject = parse_atom("c0(X)")
+    hypothesis = parse_body(hypothesis_of_size(1)[0])
+    result = benchmark(describe, kb, subject, hypothesis)
+    assert result.answers
+
+
+@pytest.mark.parametrize("fanout, depth", [(2, 2), (2, 4), (3, 3)])
+def bench_describe_tree_fanout(benchmark, fanout, depth):
+    """S2b: describe cost vs. derivation-tree width (fanout ** depth leaves)."""
+    kb = rule_tree_kb(depth=depth, fanout=fanout)
+    subject = parse_atom("t_0_0(X)")
+    hypothesis = parse_body("leaf0(X)")
+    result = benchmark(describe, kb, subject, hypothesis)
+    assert result.answers
+
+
+@pytest.mark.parametrize("breadth", [4, 16, 64])
+def bench_describe_rule_breadth(benchmark, breadth):
+    """S2c: describe cost vs. number of alternative rules for the subject."""
+    kb = wide_union_kb(breadth=breadth)
+    subject = parse_atom("concept(X)")
+    hypothesis = parse_body("alt0(X, V)")
+    result = benchmark(describe, kb, subject, hypothesis)
+    assert result.answers
+
+
+@pytest.mark.parametrize("size", [1, 3, 6])
+def bench_describe_hypothesis_size(benchmark, size):
+    """S2d: describe cost vs. hypothesis conjunct count."""
+    kb = rule_chain_kb(depth=6)
+    subject = parse_atom("c0(X)")
+    hypothesis = parse_body(" and ".join(hypothesis_of_size(size)))
+    result = benchmark(describe, kb, subject, hypothesis)
+    assert result.answers

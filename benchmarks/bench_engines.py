@@ -1,0 +1,81 @@
+"""S1 — semi-naive bottom-up vs. top-down tabled evaluation.
+
+The shape under test: on *full scans* the bottom-up engine wins (no tabling
+overhead); on *selective* queries over large, mostly-irrelevant databases —
+a point lookup on a scaled fact base, or one component of a many-component
+graph — the top-down engine's call-pattern tables touch only the relevant
+region and the ranking flips as irrelevant data grows.
+"""
+
+import pytest
+
+from repro.engine import retrieve
+from repro.datasets import (
+    chain_graph_kb,
+    component_graph_kb,
+    random_graph_kb,
+    scaled_university_kb,
+)
+from repro.lang.parser import parse_atom
+from conftest import report
+
+
+def test_s1_shape():
+    """The qualitative claim: who wins where."""
+    import time
+
+    def clock(kb, subject, engine):
+        start = time.perf_counter()
+        retrieve(kb, parse_atom(subject), engine=engine)
+        return time.perf_counter() - start
+
+    scan_kb = random_graph_kb(nodes=60, edges=120, seed=13)
+    lookup_kb = scaled_university_kb(800, seed=11)
+    lines = []
+    scan = {e: clock(scan_kb, "path(X, Y)", e) for e in ("seminaive", "topdown")}
+    lookup = {e: clock(lookup_kb, "can_ta(bob, databases)", e) for e in ("seminaive", "topdown")}
+    lines.append(f"full scan     : seminaive {scan['seminaive']:.4f}s, topdown {scan['topdown']:.4f}s")
+    lines.append(f"point lookup  : seminaive {lookup['seminaive']:.4f}s, topdown {lookup['topdown']:.4f}s")
+    report("S1: who wins where", lines)
+    assert scan["seminaive"] < scan["topdown"]       # bottom-up wins scans
+    assert lookup["topdown"] < lookup["seminaive"]   # top-down wins lookups
+
+
+@pytest.mark.parametrize("engine", ["seminaive", "topdown", "magic"])
+@pytest.mark.parametrize("nodes, edges", [(30, 60), (60, 120), (120, 240)])
+def bench_full_scan(benchmark, engine, nodes, edges):
+    """All-pairs reachability: bottom-up territory."""
+    kb = random_graph_kb(nodes=nodes, edges=edges, seed=13)
+    subject = parse_atom("path(X, Y)")
+    result = benchmark(retrieve, kb, subject, (), engine)
+    assert result.rows
+
+
+@pytest.mark.parametrize("engine", ["seminaive", "topdown", "magic"])
+@pytest.mark.parametrize("students", [200, 800])
+def bench_point_lookup(benchmark, engine, students):
+    """A fully bound goal over a growing fact base: top-down territory."""
+    kb = scaled_university_kb(students, seed=11)
+    subject = parse_atom("can_ta(bob, databases)")
+    result = benchmark(retrieve, kb, subject, (), engine)
+    assert result.boolean
+
+
+@pytest.mark.parametrize("engine", ["seminaive", "topdown", "magic"])
+@pytest.mark.parametrize("components", [5, 20])
+def bench_one_component_of_many(benchmark, engine, components):
+    """Single-source reachability in one of many disconnected components."""
+    kb = component_graph_kb(components=components, size=8, seed=3)
+    subject = parse_atom("path(c0_n0, Y)")
+    result = benchmark(retrieve, kb, subject, (), engine)
+    assert result.rows
+
+
+@pytest.mark.parametrize("engine", ["seminaive", "topdown"])
+@pytest.mark.parametrize("length", [20, 60])
+def bench_point_query_on_chain(benchmark, engine, length):
+    """Fully bound recursive goal on a chain (deep recursion, both engines)."""
+    kb = chain_graph_kb(length)
+    subject = parse_atom(f"path(n0, n{length})")
+    result = benchmark(retrieve, kb, subject, (), engine)
+    assert result.boolean

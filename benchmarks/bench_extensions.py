@@ -1,0 +1,90 @@
+"""X1-X5 — the section 6 extensions, regenerated and timed."""
+
+from repro.core import compare_concepts, describe_wildcard, is_possible
+from repro.core.necessity import describe_necessary, describe_without
+from repro.lang.parser import parse_atom, parse_body
+from conftest import report
+
+
+def test_x1_output(uni_session):
+    result = describe_necessary(
+        uni_session,
+        parse_atom("honor(X)"),
+        parse_body("complete(X, Y, Z, U) and (U > 3.3)"),
+    )
+    report("X1: describe honor(X) where necessary complete(...)",
+           ["(no answers: the qualifier is never necessary)"]
+           if not result.answers else (str(a) for a in result.answers))
+    assert not result.answers
+
+
+def test_x2_output(uni_session):
+    result = describe_without(
+        uni_session, parse_atom("can_ta(X, Y)"), parse_atom("honor(X)")
+    )
+    report("X2: describe can_ta(X, Y) where not honor(X)", [str(result)])
+    assert result.necessary
+
+
+def test_x3_output(uni_session):
+    impossible = is_possible(
+        uni_session, parse_body("student(X, Y, Z) and (Z < 3.5) and can_ta(X, U)")
+    )
+    possible = is_possible(
+        uni_session, parse_body("student(X, Y, Z) and (Z > 3.8) and can_ta(X, U)")
+    )
+    report("X3: subjectless describe",
+           [f"GPA < 3.5 and can_ta: {bool(impossible)}",
+            f"GPA > 3.8 and can_ta: {bool(possible)}"])
+    assert not impossible and possible
+
+
+def test_x4_output(uni_session):
+    results = describe_wildcard(uni_session, parse_body("honor(X)"))
+    lines = []
+    for predicate, sub in results.items():
+        lines.append(f"[{predicate}]")
+        lines.extend(f"  {a}" for a in sub.answers)
+    report("X4: describe * where honor(X)", lines)
+    assert set(results) == {"can_ta"}
+
+
+def test_x5_output(uni_session):
+    result = compare_concepts(
+        uni_session, parse_atom("can_ta(X, Y)"), parse_atom("honor(X)")
+    )
+    report("X5: compare can_ta with honor", str(result).splitlines())
+    assert result.relation == "right subsumes left"
+
+
+def bench_x1_necessary(benchmark, uni_session):
+    subject = parse_atom("can_ta(X, Y)")
+    hypothesis = parse_body("honor(X) and teach(susan, Y)")
+    result = benchmark(describe_necessary, uni_session, subject, hypothesis)
+    assert len(result.answers) == 1
+
+
+def bench_x2_necessity_test(benchmark, uni_session):
+    subject = parse_atom("can_ta(X, Y)")
+    negated = parse_atom("honor(X)")
+    result = benchmark(describe_without, uni_session, subject, negated)
+    assert result.necessary
+
+
+def bench_x3_possibility(benchmark, uni_session):
+    hypothesis = parse_body("student(X, Y, Z) and (Z < 3.5) and can_ta(X, U)")
+    result = benchmark(is_possible, uni_session, hypothesis)
+    assert not result.possible
+
+
+def bench_x4_wildcard(benchmark, uni_session):
+    hypothesis = parse_body("honor(X)")
+    results = benchmark(describe_wildcard, uni_session, hypothesis)
+    assert "can_ta" in results
+
+
+def bench_x5_compare(benchmark, uni_session):
+    left = parse_atom("can_ta(X, Y)")
+    right = parse_atom("honor(X)")
+    result = benchmark(compare_concepts, uni_session, left, right)
+    assert result.shared_concept

@@ -1,0 +1,146 @@
+"""E6/E7/E8 and F2 — recursive describe: Algorithm 2 vs. the Algorithm 1
+baseline, and the Figure 2 bound (S3).
+
+The paper's claim is qualitative: Algorithm 1 diverges on recursive
+subjects; Algorithm 2 (transformation + tags + typing guard) terminates with
+finite sound answers.  We regenerate the answers, demonstrate the
+divergence under step budgets, and time Algorithm 2.
+"""
+
+import pytest
+
+from repro.core import describe, run_algorithm1, algorithm1_config, run_algorithm2
+from repro.core.search import SearchConfig
+from repro.errors import SearchBudgetExceeded
+from repro.catalog.database import KnowledgeBase
+from repro.lang.parser import parse_atom, parse_body, parse_rule
+from conftest import report
+
+
+def example8_kb():
+    kb = KnowledgeBase()
+    kb.declare_edb("r", 2)
+    kb.declare_edb("s", 2)
+    kb.add_rules(
+        [
+            parse_rule("p(X, Y) <- q(X, Z) and r(Z, Y)."),
+            parse_rule("q(X, Y) <- q(X, Z) and s(Z, Y)."),
+            parse_rule("q(X, Y) <- r(X, Y)."),
+        ]
+    )
+    return kb
+
+
+def test_e6_answers(uni_session):
+    standard = describe(
+        uni_session, parse_atom("prior(X, Y)"), parse_body("prior(databases, Y)")
+    )
+    modified = describe(
+        uni_session,
+        parse_atom("prior(X, Y)"),
+        parse_body("prior(databases, Y)"),
+        style="modified",
+        config=SearchConfig(bare_rules="suppress"),
+    )
+    report("E6 standard:", (str(a) for a in standard.answers))
+    report("E6 modified (paper's preferred):", (str(a) for a in modified.answers))
+    assert sorted(str(a) for a in modified.answers) == [
+        "prior(X, Y) <- (X = databases).",
+        "prior(X, Y) <- prior(X, databases).",
+    ]
+
+
+def test_e7_answers(uni_session):
+    result = describe(
+        uni_session, parse_atom("prior(X, Y)"), parse_body("prior(X, databases)")
+    )
+    report("E7:", (str(a) for a in result.answers))
+    assert "prior(X, Y) <- (Y = databases)." in {str(a) for a in result.answers}
+
+
+def test_e6_e8_divergence_of_algorithm1(uni_session):
+    budgets = {}
+    for budget in (1_000, 5_000, 20_000):
+        try:
+            run_algorithm1(
+                uni_session,
+                parse_atom("prior(X, Y)"),
+                parse_body("prior(databases, Y)"),
+                config=algorithm1_config(max_steps=budget),
+                check_precondition=False,
+            )
+            budgets[budget] = "terminated"
+        except SearchBudgetExceeded:
+            budgets[budget] = "budget exceeded"
+    report("E6 Algorithm 1 under step budgets:",
+           (f"{k} steps -> {v}" for k, v in budgets.items()))
+    assert set(budgets.values()) == {"budget exceeded"}
+
+    with pytest.raises(SearchBudgetExceeded):
+        run_algorithm1(
+            example8_kb(),
+            parse_atom("p(X, Y)"),
+            parse_body("r(a, Y)"),
+            config=algorithm1_config(max_steps=20_000),
+            check_precondition=False,
+        )
+
+
+def test_f2_step_bound(uni_session):
+    _answers, stats = run_algorithm2(
+        uni_session, parse_atom("prior(X, Y)"), parse_body("prior(databases, Y)")
+    )
+    report("F2: Algorithm 2 search size on E6",
+           [f"steps = {stats.steps}", f"rule applications = {stats.rule_applications}"])
+    assert stats.steps < 10_000
+
+
+def bench_e6_standard(benchmark, uni_session):
+    subject = parse_atom("prior(X, Y)")
+    hypothesis = parse_body("prior(databases, Y)")
+    result = benchmark(describe, uni_session, subject, hypothesis)
+    assert result.answers
+
+
+def bench_e6_modified(benchmark, uni_session):
+    subject = parse_atom("prior(X, Y)")
+    hypothesis = parse_body("prior(databases, Y)")
+    result = benchmark(
+        describe, uni_session, subject, hypothesis, "auto", "modified"
+    )
+    assert result.answers
+
+
+def bench_e7(benchmark, uni_session):
+    subject = parse_atom("prior(X, Y)")
+    hypothesis = parse_body("prior(X, databases)")
+    result = benchmark(describe, uni_session, subject, hypothesis)
+    assert result.answers
+
+
+def bench_e8(benchmark):
+    kb = example8_kb()
+    subject = parse_atom("p(X, Y)")
+    hypothesis = parse_body("r(a, Y)")
+    result = benchmark(describe, kb, subject, hypothesis)
+    assert result.answers
+
+
+def bench_algorithm1_budget_baseline(benchmark, uni_session):
+    """S3 baseline: how much work Algorithm 1 burns before the budget trips."""
+
+    def run():
+        try:
+            run_algorithm1(
+                uni_session,
+                parse_atom("prior(X, Y)"),
+                parse_body("prior(databases, Y)"),
+                config=algorithm1_config(max_steps=5_000),
+                check_precondition=False,
+            )
+        except SearchBudgetExceeded as error:
+            return error
+        raise AssertionError("algorithm 1 unexpectedly terminated")
+
+    error = benchmark(run)
+    assert isinstance(error, SearchBudgetExceeded)

@@ -1,0 +1,58 @@
+"""E1/E2 — the paper's data queries, plus retrieve scaling (part of S1).
+
+Regenerates the answers of Examples 1 and 2 and times them on the paper's
+database and on scaled synthetic instances.
+"""
+
+import pytest
+
+from repro.engine import retrieve
+from repro.datasets import scaled_university_kb
+from repro.lang.parser import parse_atom, parse_body
+from conftest import report
+
+
+E1_SUBJECT = "honor(X)"
+E1_QUALIFIER = "enroll(X, databases)"
+E2_QUALIFIER = "can_ta(X, databases) and student(X, math, V) and (V > 3.7)"
+
+
+def test_e1_answer_rows(uni_session):
+    result = retrieve(
+        uni_session, parse_atom(E1_SUBJECT), parse_body(E1_QUALIFIER)
+    )
+    report("E1: retrieve honor(X) where enroll(X, databases)", sorted(result.values()))
+    assert sorted(result.values()) == ["ann", "bob", "carol"]
+
+
+def test_e2_answer_rows(uni_session):
+    result = retrieve(
+        uni_session, parse_atom("answer(X)"), parse_body(E2_QUALIFIER)
+    )
+    report("E2: retrieve answer(X) where can_ta and math and GPA > 3.7",
+           sorted(result.values()))
+    assert sorted(result.values()) == ["ann", "bob"]
+
+
+def bench_e1(benchmark, uni_session):
+    result = benchmark(
+        retrieve, uni_session, parse_atom(E1_SUBJECT), parse_body(E1_QUALIFIER)
+    )
+    assert len(result) == 3
+
+
+def bench_e2(benchmark, uni_session):
+    result = benchmark(
+        retrieve, uni_session, parse_atom("answer(X)"), parse_body(E2_QUALIFIER)
+    )
+    assert len(result) == 2
+
+
+@pytest.mark.parametrize("students", [100, 400, 1600])
+def bench_retrieve_scaling(benchmark, students):
+    """Example 1 on a growing student body (bottom-up engine)."""
+    kb = scaled_university_kb(students, seed=11)
+    subject = parse_atom(E1_SUBJECT)
+    qualifier = parse_body(E1_QUALIFIER)
+    result = benchmark(retrieve, kb, subject, qualifier)
+    assert result.rows  # ann/bob/carol are still present

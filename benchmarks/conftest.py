@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one experiment row of EXPERIMENTS.md:
+it prints the paper's artifact (the answer rows/rules) once per session and
+times the operation with pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import university_kb
+
+
+def report(title: str, lines) -> None:
+    """Print one experiment's regenerated artifact (visible with -s)."""
+    print()
+    print(f"--- {title} ---")
+    for line in lines:
+        print(f"    {line}")
+
+
+@pytest.fixture(scope="session")
+def uni_session():
+    """One shared university database for read-only benchmarks."""
+    return university_kb()

@@ -1,0 +1,74 @@
+"""Auditing policy knowledge with hypothetical queries (enterprise domain).
+
+An HR analyst audits the compensation policy encoded in the IDB without
+reading a single rule by hand, using the paper's knowledge queries:
+
+* "Must every bonus-eligible employee be senior?"        (necessity)
+* "Could a 2-year employee be bonus-eligible?"           (possibility)
+* "What follows from being promotable?"                  (wildcard)
+* "How do 'promotable' and 'well paid' relate?"          (compare)
+
+Run with::
+
+    python examples/hypothetical_audit.py
+"""
+
+from repro import Session
+from repro.cli import render
+from repro.datasets import enterprise_kb
+
+
+def banner(text: str) -> None:
+    print()
+    print("=" * 78)
+    print(text)
+    print("=" * 78)
+
+
+def main() -> None:
+    session = Session(enterprise_kb())
+
+    banner("The policy rule base")
+    for rule in session.kb.rules():
+        print(" ", rule)
+
+    banner("Data query: who is bonus eligible right now?")
+    print(render(session.query("retrieve bonus_eligible(X)")))
+
+    banner("Knowledge query: what does bonus eligibility take?")
+    print(render(session.query("describe bonus_eligible(X)")))
+
+    banner("When is a senior engineer on project atlas bonus eligible?")
+    print(render(session.query(
+        "describe bonus_eligible(X) where assigned(X, atlas, H) and (H >= 20)"
+    )))
+
+    banner("Must every bonus-eligible employee be senior?  (describe ... where not)")
+    print(render(session.query("describe bonus_eligible(X) where not senior(X)")))
+
+    banner("Could a 2-year employee be bonus eligible?  (subjectless describe)")
+    print(render(session.query(
+        "describe where employee(X, D, S, Y) and (Y < 3) and bonus_eligible(X)"
+    )))
+
+    banner("Could a low scorer lead a project?")
+    print(render(session.query(
+        "describe where review(X, Y, S) and (S < 4.0) and lead_eligible(X, P)"
+    )))
+
+    banner("What follows from being promotable?  (describe *)")
+    print(render(session.query("describe * where promotable(X)")))
+
+    banner("How do promotable and well_paid relate?  (compare)")
+    print(render(session.query(
+        "compare (describe promotable(X)) with (describe well_paid(X))"
+    )))
+
+    banner("Management chains (recursion): who is under alice, and why?")
+    print(render(session.query("retrieve chain(alice, Y)")))
+    print()
+    print(render(session.query("describe chain(X, Y) where chain(alice, Y)")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Quickstart: build a knowledge-rich database and query data AND knowledge.
+
+Run with::
+
+    python examples/quickstart.py
+
+The paper's point in five minutes: the same instrument answers
+"who are the honor students?" (a data query) and "what does it take to be
+an honor student?" (a knowledge query).
+"""
+
+from repro import Session
+from repro.cli import render
+
+
+def main() -> None:
+    session = Session()
+
+    # Definitions: facts are ground clauses, rules have bodies.
+    session.load(
+        """
+        % A tiny registrar.
+        student(ann, math, 3.9).
+        student(bob, cs, 3.4).
+        student(carol, cs, 3.95).
+        enroll(ann, databases).
+        enroll(carol, databases).
+        enroll(bob, compilers).
+
+        % Knowledge: what "honor student" means.
+        honor(X) <- student(X, M, G) and (G > 3.7).
+        """
+    )
+
+    print("Q1. Who are the honor students?           (data query)")
+    print(render(session.query("retrieve honor(X)")))
+    print()
+
+    print("Q2. Honor students taking databases?      (data query with qualifier)")
+    print(render(session.query("retrieve honor(X) where enroll(X, databases)")))
+    print()
+
+    print("Q3. What does it take to be an honor student?   (knowledge query)")
+    print(render(session.query("describe honor(X)")))
+    print()
+
+    print("Q4. When is a CS student with GPA over 3.5 an honor student?")
+    print(render(session.query(
+        "describe honor(X) where student(X, cs, G) and (G > 3.5)"
+    )))
+    print()
+
+    print("Q5. Could a student with GPA 3.0 be an honor student?  (possibility)")
+    print(render(session.query(
+        "describe where student(X, M, G) and (G < 3.2) and honor(X)"
+    )))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Catalog subsystem: schemas, stored relations, the knowledge base, and
+predicate dependency analysis."""
+
+from repro.catalog.database import KnowledgeBase
+from repro.catalog.persist import export_csv, import_csv, load_kb, save_kb
+from repro.catalog.dependencies import DependencyGraph, dependency_graph
+from repro.catalog.relation import Relation
+from repro.catalog.schema import PredicateKind, PredicateSchema
+
+__all__ = [
+    "KnowledgeBase",
+    "export_csv",
+    "import_csv",
+    "load_kb",
+    "save_kb",
+    "DependencyGraph",
+    "dependency_graph",
+    "Relation",
+    "PredicateKind",
+    "PredicateSchema",
+]

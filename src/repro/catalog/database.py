@@ -1,0 +1,350 @@
+"""The knowledge-rich database: EDB facts, built-ins, IDB rules.
+
+:class:`KnowledgeBase` is the paper's database ``D`` (section 2.1): a set
+``P`` of stored predicates with fact relations, the built-in comparison set
+``R``, and a set ``S`` of rule-defined predicates — all mutually disjoint.
+It owns the dependency analysis and validates rules on entry (arity
+consistency, disjointness, optional typing/linearity discipline for
+recursive predicates).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import (
+    ArityError,
+    DuplicatePredicateError,
+    IntegrityError,
+    SchemaError,
+    TypingError,
+    UnknownPredicateError,
+)
+from repro.catalog.dependencies import DependencyGraph
+from repro.catalog.relation import Relation, Row
+from repro.catalog.schema import PredicateKind, PredicateSchema
+from repro.logic.atoms import Atom
+from repro.logic.builtins import is_builtin_predicate
+from repro.logic.clauses import IntegrityConstraint, Rule
+from repro.logic.typing import (
+    is_permutation_rule,
+    is_strongly_linear,
+    is_typed_with_respect_to,
+)
+
+
+class KnowledgeBase:
+    """A deductive database of EDB relations and IDB rules.
+
+    Parameters
+    ----------
+    enforce_recursion_discipline:
+        When true (the default), adding a recursive rule that is neither a
+        permutation rule (section 5.3 relaxation) nor strongly linear and
+        typed w.r.t. its head raises :class:`TypingError`, matching the
+        paper's standing assumption.  Turn off to experiment with rule sets
+        outside the paper's fragment.
+    """
+
+    def __init__(self, name: str = "db", enforce_recursion_discipline: bool = True) -> None:
+        self.name = name
+        self.enforce_recursion_discipline = enforce_recursion_discipline
+        self._schemas: dict[str, PredicateSchema] = {}
+        self._relations: dict[str, Relation] = {}
+        self._rules: list[Rule] = []
+        self._rules_by_head: dict[str, list[Rule]] = {}
+        self._constraints: list[IntegrityConstraint] = []
+        self._graph: DependencyGraph | None = None
+
+    # -- schema -----------------------------------------------------------------
+
+    def declare_edb(
+        self, name: str, arity: int, attributes: Sequence[str] | None = None
+    ) -> PredicateSchema:
+        """Declare a stored (EDB) predicate."""
+        schema = PredicateSchema(name, arity, PredicateKind.EDB, attributes)
+        self._register(schema)
+        self._relations[name] = Relation(arity)
+        return schema
+
+    def declare_idb(
+        self, name: str, arity: int, attributes: Sequence[str] | None = None
+    ) -> PredicateSchema:
+        """Declare a rule-defined (IDB) predicate.
+
+        Declaration is optional — adding a rule auto-declares its head — but
+        lets applications fix attribute names and catch arity drift early.
+        """
+        schema = PredicateSchema(name, arity, PredicateKind.IDB, attributes)
+        self._register(schema)
+        return schema
+
+    def _register(self, schema: PredicateSchema) -> None:
+        if is_builtin_predicate(schema.name):
+            raise DuplicatePredicateError(
+                f"{schema.name} is a built-in predicate and cannot be redeclared"
+            )
+        existing = self._schemas.get(schema.name)
+        if existing is not None:
+            if existing.kind != schema.kind:
+                raise DuplicatePredicateError(
+                    f"predicate {schema.name} already declared as {existing.kind.value}"
+                )
+            if existing.arity != schema.arity:
+                raise SchemaError(
+                    f"predicate {schema.name} already declared with arity {existing.arity}"
+                )
+            return
+        self._schemas[schema.name] = schema
+
+    def schema(self, name: str) -> PredicateSchema:
+        """The schema of a declared predicate (raises if unknown)."""
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise UnknownPredicateError(f"unknown predicate: {name}") from None
+
+    def has_predicate(self, name: str) -> bool:
+        """Whether the predicate is declared (EDB or IDB) or built-in."""
+        return name in self._schemas or is_builtin_predicate(name)
+
+    def is_edb(self, name: str) -> bool:
+        """Whether *name* is a stored predicate."""
+        schema = self._schemas.get(name)
+        return schema is not None and schema.kind is PredicateKind.EDB
+
+    def is_idb(self, name: str) -> bool:
+        """Whether *name* is a rule-defined predicate."""
+        schema = self._schemas.get(name)
+        return schema is not None and schema.kind is PredicateKind.IDB
+
+    def is_builtin(self, name: str) -> bool:
+        """Whether *name* is a built-in comparison predicate."""
+        return is_builtin_predicate(name)
+
+    def edb_predicates(self) -> list[str]:
+        """Names of all stored predicates."""
+        return sorted(n for n, s in self._schemas.items() if s.kind is PredicateKind.EDB)
+
+    def idb_predicates(self) -> list[str]:
+        """Names of all rule-defined predicates."""
+        return sorted(n for n, s in self._schemas.items() if s.kind is PredicateKind.IDB)
+
+    # -- facts -------------------------------------------------------------------
+
+    def add_fact(self, predicate: str, *values: object) -> bool:
+        """Store one fact; returns ``False`` when it was already present."""
+        if not self.is_edb(predicate):
+            if self.is_idb(predicate):
+                raise SchemaError(
+                    f"{predicate} is an IDB predicate; facts belong to EDB predicates"
+                )
+            raise UnknownPredicateError(f"unknown EDB predicate: {predicate}")
+        return self._relations[predicate].insert(values)
+
+    def add_facts(self, predicate: str, rows: Iterable[Sequence[object]]) -> int:
+        """Store many facts; returns how many were new."""
+        return sum(1 for row in rows if self.add_fact(predicate, *row))
+
+    def relation(self, predicate: str) -> Relation:
+        """The stored relation behind an EDB predicate."""
+        if not self.is_edb(predicate):
+            raise UnknownPredicateError(f"not an EDB predicate: {predicate}")
+        return self._relations[predicate]
+
+    def facts(self, predicate: str) -> list[Row]:
+        """All stored rows of an EDB predicate."""
+        return self.relation(predicate).rows()
+
+    def fact_count(self) -> int:
+        """Total number of stored facts across all EDB relations."""
+        return sum(len(rel) for rel in self._relations.values())
+
+    # -- rules --------------------------------------------------------------------
+
+    def add_rule(self, rule: Rule) -> None:
+        """Add one IDB rule, validating schema and recursion discipline."""
+        head = rule.head
+        if is_builtin_predicate(head.predicate):
+            raise SchemaError(f"rule head may not be a built-in predicate: {head}")
+        if self.is_edb(head.predicate):
+            raise SchemaError(
+                f"{head.predicate} is an EDB predicate and may not head a rule"
+            )
+        existing = self._schemas.get(head.predicate)
+        if existing is None:
+            self.declare_idb(head.predicate, head.arity)
+        else:
+            existing.check_arity(head.arity)
+        for body_atom in (*rule.body, *rule.negated):
+            self._check_body_atom(body_atom)
+        self._rules.append(rule)
+        self._rules_by_head.setdefault(head.predicate, []).append(rule)
+        self._graph = None
+        # Any new rule (positive ones included) can close a cycle through an
+        # existing negative edge, so re-check whenever negation is present.
+        if rule.negated or any(r.negated for r in self._rules):
+            violations = self.dependency_graph().negation_violations()
+            if violations:
+                self._rules.pop()
+                self._rules_by_head[head.predicate].pop()
+                self._graph = None
+                pairs = ", ".join(f"{h} -> not {n}" for h, n in violations)
+                raise TypingError(
+                    f"rule {rule} creates recursion through negation ({pairs}); "
+                    "only stratified rule sets are supported"
+                )
+        if self.enforce_recursion_discipline:
+            self._check_recursion_discipline(rule)
+
+    def _check_body_atom(self, atom: Atom) -> None:
+        if atom.is_comparison():
+            if atom.arity != 2:
+                raise ArityError(f"comparison atoms are binary: {atom}")
+            return
+        schema = self._schemas.get(atom.predicate)
+        if schema is not None:
+            schema.check_arity(atom.arity)
+        # Unknown body predicates are allowed at rule-entry time (mutual
+        # recursion may define them later); safety analysis re-checks.
+
+    def _check_recursion_discipline(self, new_rule: Rule) -> None:
+        graph = self.dependency_graph()
+        for rule in self.rules_for(new_rule.head.predicate):
+            if not graph.is_recursive_rule(rule):
+                continue
+            if is_permutation_rule(rule):
+                continue  # handled by bounded application (section 5.3)
+            head = rule.head.predicate
+            if head not in rule.body_predicates():
+                # Mutual recursion without a direct self-occurrence: the
+                # data engines evaluate it fine; only the describe
+                # transformation is restricted (it raises TransformError).
+                continue
+            if not is_strongly_linear(rule):
+                raise TypingError(f"recursive rule is not strongly linear: {rule}")
+            if not is_typed_with_respect_to(rule, head):
+                raise TypingError(
+                    f"recursive rule is not typed w.r.t. {head}: {rule}"
+                )
+
+    def add_rules(self, rules: Iterable[Rule]) -> None:
+        """Add many rules.
+
+        Mutually recursive groups should be added through this entry point:
+        discipline checking is deferred until the whole group is in place.
+        """
+        saved = self.enforce_recursion_discipline
+        self.enforce_recursion_discipline = False
+        added: list[Rule] = []
+        try:
+            for rule in rules:
+                self.add_rule(rule)
+                added.append(rule)
+        finally:
+            self.enforce_recursion_discipline = saved
+        if saved:
+            for rule in added:
+                self._check_recursion_discipline(rule)
+
+    def rules(self) -> list[Rule]:
+        """All IDB rules, in insertion order."""
+        return list(self._rules)
+
+    def rules_for(self, predicate: str) -> list[Rule]:
+        """Rules whose head predicate is *predicate*."""
+        return list(self._rules_by_head.get(predicate, ()))
+
+    def rule_count(self) -> int:
+        """Total number of IDB rules."""
+        return len(self._rules)
+
+    # -- constraints -----------------------------------------------------------------
+
+    def add_constraint(self, constraint: IntegrityConstraint) -> None:
+        """Add an integrity constraint (used for validation, not inference)."""
+        self._constraints.append(constraint)
+
+    def constraints(self) -> list[IntegrityConstraint]:
+        """All integrity constraints."""
+        return list(self._constraints)
+
+    def check_integrity(self) -> None:
+        """Raise :class:`IntegrityError` if stored facts violate a constraint.
+
+        Constraints are evaluated against the full database (EDB plus IDB),
+        so a constraint over derived predicates is honoured too.
+        """
+        from repro.engine.evaluate import evaluate_conjunction  # local: avoid cycle
+
+        for constraint in self._constraints:
+            witnesses = evaluate_conjunction(self, constraint.body)
+            first = next(iter(witnesses), None)
+            if first is not None:
+                raise IntegrityError(
+                    f"constraint {constraint} violated, e.g. by {first}"
+                )
+
+    # -- analysis ---------------------------------------------------------------------
+
+    def dependency_graph(self) -> DependencyGraph:
+        """The (cached) dependency graph of the current rule set."""
+        if self._graph is None:
+            self._graph = DependencyGraph(self._rules)
+        return self._graph
+
+    def is_recursive(self, predicate: str) -> bool:
+        """Whether the predicate heads a recursive rule."""
+        return self.dependency_graph().is_recursive_predicate(predicate)
+
+    def depends_on_recursion(self, predicate: str) -> bool:
+        """Whether the predicate is recursive or depends on a recursive one."""
+        return self.dependency_graph().depends_on_recursion(predicate)
+
+    # -- misc --------------------------------------------------------------------------
+
+    def with_rules(self, rules: Iterable[Rule], name: str | None = None) -> "KnowledgeBase":
+        """A copy sharing this database's facts but with a replacement IDB.
+
+        Used to evaluate a transformed rule set against the original one
+        (the discipline check is off in the copy: transformed programs
+        contain rules like ``r_T`` that are linear but not strongly linear).
+        """
+        clone = KnowledgeBase(
+            name or f"{self.name}_rewritten", enforce_recursion_discipline=False
+        )
+        clone._schemas = {
+            n: s for n, s in self._schemas.items() if s.kind is PredicateKind.EDB
+        }
+        clone._relations = {n: r.copy() for n, r in self._relations.items()}
+        clone._constraints = list(self._constraints)
+        for rule in rules:
+            clone.add_rule(rule)
+        return clone
+
+    def copy(self, name: str | None = None) -> "KnowledgeBase":
+        """A deep-enough copy: independent relations and rule lists."""
+        clone = KnowledgeBase(
+            name or self.name,
+            enforce_recursion_discipline=self.enforce_recursion_discipline,
+        )
+        clone._schemas = dict(self._schemas)
+        clone._relations = {n: r.copy() for n, r in self._relations.items()}
+        clone._rules = list(self._rules)
+        clone._rules_by_head = {h: list(rs) for h, rs in self._rules_by_head.items()}
+        clone._constraints = list(self._constraints)
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"KnowledgeBase({self.name!r}: {len(self.edb_predicates())} EDB, "
+            f"{self.fact_count()} facts, {self.rule_count()} rules)"
+        )
+
+    def describe_catalog(self) -> Iterator[str]:
+        """Human-readable catalog listing (one line per predicate)."""
+        for name in self.edb_predicates():
+            yield f"EDB  {self.schema(name)}  [{len(self._relations[name])} facts]"
+        for name in self.idb_predicates():
+            marker = " (recursive)" if self.is_recursive(name) else ""
+            yield f"IDB  {self.schema(name)}  [{len(self.rules_for(name))} rules]{marker}"

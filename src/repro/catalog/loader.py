@@ -1,0 +1,60 @@
+"""Loading knowledge bases from definition files.
+
+A definition file mixes facts, rules and integrity constraints in the
+surface language (``%`` comments allowed)::
+
+    % facts
+    student(ann, math, 3.9).
+    % rules
+    honor(X) <- student(X, Y, Z) and (Z > 3.7).
+    % constraints
+    not (honor(X) and student(X, Y, Z) and (Z < 3.0)).
+
+Ground bodiless clauses are stored as EDB facts (their predicate is
+declared on first use); everything else becomes IDB rules/constraints.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CatalogError
+from repro.catalog.database import KnowledgeBase
+from repro.lang.ast import ConstraintStatement, RuleStatement
+from repro.lang.parser import parse_program
+
+
+def load_program(kb: KnowledgeBase, source: str) -> int:
+    """Load definitions from *source* into *kb*; returns the count."""
+    program = parse_program(source)
+    count = 0
+    for statement in program.statements:
+        if isinstance(statement, RuleStatement):
+            rule = statement.rule
+            if rule.is_fact():
+                predicate = rule.head.predicate
+                if not kb.has_predicate(predicate):
+                    kb.declare_edb(predicate, rule.head.arity)
+                kb.add_fact(predicate, *rule.head.args)
+            else:
+                kb.add_rule(rule)
+            count += 1
+        elif isinstance(statement, ConstraintStatement):
+            kb.add_constraint(statement.constraint)
+            count += 1
+        else:
+            raise CatalogError(
+                f"definition files may not contain queries: {statement}"
+            )
+    return count
+
+
+def load_file(kb: KnowledgeBase, path: str) -> int:
+    """Load definitions from a file into *kb*; returns the count."""
+    with open(path) as handle:
+        return load_program(kb, handle.read())
+
+
+def kb_from_program(source: str, name: str = "loaded") -> KnowledgeBase:
+    """Build a fresh knowledge base from definition text."""
+    kb = KnowledgeBase(name)
+    load_program(kb, source)
+    return kb

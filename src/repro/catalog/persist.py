@@ -1,0 +1,137 @@
+"""Persistence: save/load knowledge bases, CSV import/export.
+
+The on-disk format is a single JSON document: EDB schemas with their rows,
+and rules/constraints as source text (the language is the canonical
+serialisation of knowledge — it round-trips through the parser).  CSV
+import/export moves single relations in and out of ordinary tabular files.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Sequence
+
+from repro.errors import CatalogError
+from repro.catalog.database import KnowledgeBase
+from repro.lang.parser import parse_rule, parse_statement
+from repro.lang.ast import ConstraintStatement
+
+#: Format marker written into every dump.
+FORMAT = "repro-kb/1"
+
+
+def kb_to_dict(kb: KnowledgeBase) -> dict:
+    """A JSON-ready dictionary capturing the whole knowledge base."""
+    relations = {}
+    for name in kb.edb_predicates():
+        schema = kb.schema(name)
+        relations[name] = {
+            "arity": schema.arity,
+            "attributes": list(schema.attributes) if schema.attributes else None,
+            "rows": [[c.value for c in row] for row in kb.facts(name)],
+        }
+    return {
+        "format": FORMAT,
+        "name": kb.name,
+        "edb": relations,
+        "rules": [str(rule) for rule in kb.rules()],
+        "constraints": [str(constraint) for constraint in kb.constraints()],
+    }
+
+
+def kb_from_dict(data: dict) -> KnowledgeBase:
+    """Rebuild a knowledge base from :func:`kb_to_dict` output."""
+    if data.get("format") != FORMAT:
+        raise CatalogError(f"not a {FORMAT} document (format={data.get('format')!r})")
+    kb = KnowledgeBase(data.get("name", "loaded"))
+    for name, relation in data.get("edb", {}).items():
+        kb.declare_edb(name, relation["arity"], relation.get("attributes"))
+        kb.add_facts(name, [tuple(row) for row in relation.get("rows", ())])
+    kb.add_rules(parse_rule(text) for text in data.get("rules", ()))
+    for text in data.get("constraints", ()):
+        statement = parse_statement(text)
+        if not isinstance(statement, ConstraintStatement):
+            raise CatalogError(f"not a constraint: {text}")
+        kb.add_constraint(statement.constraint)
+    return kb
+
+
+def save_kb(kb: KnowledgeBase, path: str) -> None:
+    """Write the knowledge base to *path* as JSON."""
+    with open(path, "w") as handle:
+        json.dump(kb_to_dict(kb), handle, indent=1)
+
+
+def load_kb(path: str) -> KnowledgeBase:
+    """Read a knowledge base written by :func:`save_kb`."""
+    with open(path) as handle:
+        return kb_from_dict(json.load(handle))
+
+
+def _coerce_cell(cell: str) -> object:
+    """CSV cells: numbers become numbers, everything else stays a string."""
+    try:
+        return int(cell)
+    except ValueError:
+        pass
+    try:
+        return float(cell)
+    except ValueError:
+        pass
+    return cell
+
+
+def import_csv(
+    kb: KnowledgeBase,
+    predicate: str,
+    path: str,
+    header: bool = True,
+    delimiter: str = ",",
+) -> int:
+    """Load rows of one EDB relation from a CSV file.
+
+    With ``header=True`` the first row supplies attribute names (used when
+    the predicate is not yet declared).  Returns the number of new facts.
+    """
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        rows = list(reader)
+    if not rows:
+        return 0
+    attributes: Sequence[str] | None = None
+    if header:
+        attributes, rows = rows[0], rows[1:]
+    if not rows:
+        return 0
+    arity = len(rows[0])
+    if not kb.has_predicate(predicate):
+        kb.declare_edb(predicate, arity, attributes)
+    count = 0
+    for row in rows:
+        if len(row) != arity:
+            raise CatalogError(
+                f"{path}: expected {arity} columns, got {len(row)}: {row!r}"
+            )
+        if kb.add_fact(predicate, *[_coerce_cell(cell) for cell in row]):
+            count += 1
+    return count
+
+
+def export_csv(
+    kb: KnowledgeBase, predicate: str, path: str, header: bool = True
+) -> int:
+    """Write one EDB relation to a CSV file; returns the row count."""
+    schema = kb.schema(predicate)
+    rows = kb.facts(predicate)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        if header:
+            writer.writerow(
+                schema.attributes
+                if schema.attributes
+                else [f"arg{i}" for i in range(schema.arity)]
+            )
+        for row in rows:
+            writer.writerow([c.value for c in row])
+    return len(rows)

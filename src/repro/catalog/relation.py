@@ -1,0 +1,153 @@
+"""In-memory stored relations with per-column hash indexes.
+
+Each EDB predicate's fact set is a :class:`Relation`: a set of constant
+tuples plus lazily built per-column indexes, so pattern lookups with bound
+arguments avoid full scans.  This is the storage substrate under the
+deductive engine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import ArityError, CatalogError
+from repro.logic.terms import Constant, Term, is_constant, make_term
+
+#: A stored tuple: constants only.
+Row = tuple[Constant, ...]
+
+
+class Relation:
+    """A set of ground tuples of fixed arity, with hash indexes.
+
+    Indexes are built per column on first use and maintained incrementally
+    afterwards.  Iteration order is insertion order (deterministic runs).
+    """
+
+    def __init__(self, arity: int, rows: Iterable[Sequence[object]] = ()) -> None:
+        if arity < 0:
+            raise CatalogError(f"relation arity must be non-negative, got {arity}")
+        self.arity = arity
+        self._rows: dict[Row, None] = {}
+        self._indexes: dict[int, dict[Constant, list[Row]]] = {}
+        for row in rows:
+            self.insert(row)
+
+    # -- mutation -----------------------------------------------------------------
+
+    def _coerce(self, row: Sequence[object]) -> Row:
+        if len(row) != self.arity:
+            raise ArityError(f"expected {self.arity} columns, got {len(row)}")
+        coerced = []
+        for value in row:
+            term = make_term(value)
+            if not is_constant(term):
+                raise CatalogError(f"stored rows must be ground, got variable {term}")
+            coerced.append(term)
+        return tuple(coerced)
+
+    def insert(self, row: Sequence[object]) -> bool:
+        """Insert a row; returns ``False`` if it was already present."""
+        coerced = self._coerce(row)
+        if coerced in self._rows:
+            return False
+        self._rows[coerced] = None
+        for column, index in self._indexes.items():
+            index.setdefault(coerced[column], []).append(coerced)
+        return True
+
+    def insert_many(self, rows: Iterable[Sequence[object]]) -> int:
+        """Insert many rows; returns how many were new."""
+        return sum(1 for row in rows if self.insert(row))
+
+    def delete(self, row: Sequence[object]) -> bool:
+        """Delete a row; returns ``False`` if it was absent."""
+        coerced = self._coerce(row)
+        if coerced not in self._rows:
+            return False
+        del self._rows[coerced]
+        for column, index in self._indexes.items():
+            bucket = index.get(coerced[column])
+            if bucket is not None:
+                bucket.remove(coerced)
+                if not bucket:
+                    del index[coerced[column]]
+        return True
+
+    def clear(self) -> None:
+        """Remove every row."""
+        self._rows.clear()
+        self._indexes.clear()
+
+    # -- access ---------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: object) -> bool:
+        if not isinstance(row, tuple):
+            return False
+        try:
+            coerced = self._coerce(row)
+        except (ArityError, CatalogError):
+            return False
+        return coerced in self._rows
+
+    def rows(self) -> list[Row]:
+        """All rows, in insertion order."""
+        return list(self._rows)
+
+    def _index_for(self, column: int) -> dict[Constant, list[Row]]:
+        if column not in self._indexes:
+            index: dict[Constant, list[Row]] = {}
+            for row in self._rows:
+                index.setdefault(row[column], []).append(row)
+            self._indexes[column] = index
+        return self._indexes[column]
+
+    def lookup(self, pattern: Sequence[Term | None]) -> Iterator[Row]:
+        """Rows matching a pattern of constants and wildcards.
+
+        *pattern* has one entry per column: a :class:`Constant` pins the
+        column, a variable or ``None`` leaves it free.  The most selective
+        bound column drives an index probe; remaining bound columns filter.
+        """
+        if len(pattern) != self.arity:
+            raise ArityError(f"pattern arity {len(pattern)} != relation arity {self.arity}")
+        bound = [
+            (i, term)
+            for i, term in enumerate(pattern)
+            if term is not None and is_constant(term)
+        ]
+        if not bound:
+            yield from self._rows
+            return
+        probe_column, probe_value = bound[0]
+        if len(bound) > 1 and self._rows:
+            # Prefer the column whose index bucket is smallest.
+            best_size = None
+            for column, value in bound:
+                bucket = self._index_for(column).get(value, [])  # type: ignore[arg-type]
+                if best_size is None or len(bucket) < best_size:
+                    best_size = len(bucket)
+                    probe_column, probe_value = column, value
+        candidates = self._index_for(probe_column).get(probe_value, [])  # type: ignore[arg-type]
+        rest = [(i, v) for i, v in bound if i != probe_column]
+        for row in candidates:
+            if all(row[i] == v for i, v in rest):
+                yield row
+
+    def distinct_count(self, column: int) -> int:
+        """Number of distinct values in a column (builds its index)."""
+        if not 0 <= column < self.arity:
+            raise ArityError(f"column {column} out of range for arity {self.arity}")
+        return len(self._index_for(column))
+
+    def copy(self) -> "Relation":
+        """An independent copy (indexes rebuilt lazily)."""
+        clone = Relation(self.arity)
+        clone._rows = dict(self._rows)
+        return clone

@@ -1,0 +1,78 @@
+"""Predicate schemas: the catalog's description of each predicate.
+
+The paper's database keeps three mutually disjoint predicate sets: stored
+EDB predicates ``P``, built-in predicates ``R`` and rule-defined IDB
+predicates ``S``.  A :class:`PredicateSchema` records a predicate's name,
+arity, kind, and (optionally) attribute names for readable output.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Sequence
+
+from repro.errors import ArityError, SchemaError
+
+
+class PredicateKind(Enum):
+    """Which of the paper's three predicate sets a predicate belongs to."""
+
+    EDB = "edb"
+    IDB = "idb"
+    BUILTIN = "builtin"
+
+
+class PredicateSchema:
+    """Name, arity, kind and optional attribute names of one predicate."""
+
+    __slots__ = ("name", "arity", "kind", "attributes")
+
+    def __init__(
+        self,
+        name: str,
+        arity: int,
+        kind: PredicateKind,
+        attributes: Sequence[str] | None = None,
+    ) -> None:
+        if not name:
+            raise SchemaError("predicate name must be non-empty")
+        if arity < 0:
+            raise SchemaError(f"arity must be non-negative, got {arity}")
+        if attributes is not None and len(attributes) != arity:
+            raise SchemaError(
+                f"predicate {name}: {len(attributes)} attribute names for arity {arity}"
+            )
+        self.name = name
+        self.arity = arity
+        self.kind = kind
+        self.attributes: tuple[str, ...] | None = (
+            tuple(attributes) if attributes is not None else None
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PredicateSchema)
+            and self.name == other.name
+            and self.arity == other.arity
+            and self.kind == other.kind
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.arity, self.kind))
+
+    def __repr__(self) -> str:
+        return f"PredicateSchema({self.name!r}, {self.arity}, {self.kind.value})"
+
+    def __str__(self) -> str:
+        if self.attributes:
+            inner = ", ".join(self.attributes)
+        else:
+            inner = ", ".join(f"arg{i}" for i in range(self.arity))
+        return f"{self.name}({inner})"
+
+    def check_arity(self, count: int) -> None:
+        """Raise :class:`ArityError` unless *count* equals the arity."""
+        if count != self.arity:
+            raise ArityError(
+                f"predicate {self.name} has arity {self.arity}, used with {count} arguments"
+            )

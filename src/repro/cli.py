@@ -1,0 +1,169 @@
+"""``dbk`` — an interactive shell over a knowledge-rich database.
+
+Usage::
+
+    dbk                      # empty database
+    dbk --dataset university # the paper's database
+    dbk --load defs.dbk      # load a definition file
+
+Inside the shell, type any statement of the language::
+
+    retrieve honor(X) where enroll(X, databases)
+    describe can_ta(X, databases) where student(X, math, V) and (V > 3.7)
+    describe where student(X, Y, Z) and (Z < 3.5) and can_ta(X, U)
+    compare (describe can_ta(X, Y)) with (describe honor(X))
+
+plus the meta commands ``.catalog``, ``.rules``, ``.help`` and ``.quit``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.catalog.database import KnowledgeBase
+from repro.core.answers import DescribeResult
+from repro.engine.evaluate import RetrieveResult
+from repro.lang.pretty import format_bindings, format_rules
+from repro.session import Session
+
+_DATASETS = ("university", "routing", "enterprise")
+
+_HELP = """\
+Statements:
+  fact(constant, ...).                       store a fact
+  head(X) <- body(X) and (X > 0).            define a rule
+  not (p(X) and q(X)).                       add an integrity constraint
+  retrieve subject [where qualifier]         data query
+  describe subject [where qualifier]         knowledge query
+  describe subject where necessary ...       only hypothesis-using answers
+  describe subject where not concept(X)      necessity test (true/false)
+  describe where qualifier                   possibility test (true/false)
+  describe * where qualifier                 what follows from the qualifier
+  explain fact(a, b)                         derivation tree for a fact
+  explain subject [where qualifier]          proofs for a query's answers
+  compare (describe p) with (describe q)     concept comparison
+Meta:
+  .catalog  .rules  .load FILE  .help  .quit
+"""
+
+
+def _build_kb(args: argparse.Namespace) -> KnowledgeBase:
+    if args.dataset == "university":
+        from repro.datasets.university import university_kb
+
+        return university_kb()
+    if args.dataset == "routing":
+        from repro.datasets.routing import routing_kb
+
+        return routing_kb()
+    if args.dataset == "enterprise":
+        from repro.datasets.enterprise import enterprise_kb
+
+        return enterprise_kb()
+    return KnowledgeBase("interactive")
+
+
+def render(result: object) -> str:
+    """A human rendering of any query result."""
+    if isinstance(result, RetrieveResult):
+        if not result.variables:
+            return "yes" if result.boolean else "no"
+        return format_bindings(result.variables, result.rows)
+    if isinstance(result, DescribeResult):
+        return str(result)
+    if isinstance(result, dict):  # wildcard describe
+        if not result:
+            return "(nothing follows from the qualifier)"
+        sections = []
+        for predicate, sub_result in result.items():
+            sections.append(f"[{predicate}]")
+            sections.append(format_rules(sub_result.rules(), indent="  "))
+        return "\n".join(sections)
+    return str(result)
+
+
+def run_repl(session: Session, stream=None, out=None) -> None:
+    """The read-eval-print loop (injectable streams for testing)."""
+    stream = stream if stream is not None else sys.stdin
+    out = out if out is not None else sys.stdout
+    interactive = stream is sys.stdin and sys.stdin.isatty()
+
+    def emit(text: str) -> None:
+        print(text, file=out)
+
+    if interactive:
+        emit("dbk — querying database knowledge (SIGMOD 1990).  .help for help.")
+    buffer = ""
+    while True:
+        if interactive:
+            out.write("dbk> " if not buffer else "...> ")
+            out.flush()
+        line = stream.readline()
+        if not line:
+            break
+        line = line.strip()
+        if not line:
+            continue
+        if line in (".quit", ".exit"):
+            break
+        if line == ".help":
+            emit(_HELP)
+            continue
+        if line == ".catalog":
+            for entry in session.kb.describe_catalog():
+                emit(entry)
+            continue
+        if line == ".rules":
+            emit(format_rules(session.kb.rules()))
+            continue
+        if line.startswith(".load "):
+            path = line[len(".load "):].strip()
+            try:
+                with open(path) as handle:
+                    count = session.load(handle.read())
+                emit(f"loaded {count} definitions from {path}")
+            except (OSError, ReproError) as error:
+                emit(f"error: {error}")
+            continue
+        buffer = f"{buffer} {line}".strip() if buffer else line
+        # Definitions end with a period; queries are one-liners.
+        starts_query = buffer.split(None, 1)[0] in (
+            "retrieve", "describe", "explain", "compare",
+        )
+        if not starts_query and not buffer.endswith("."):
+            continue
+        try:
+            emit(render(session.query(buffer)))
+        except ReproError as error:
+            emit(f"error: {error}")
+        buffer = ""
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``dbk`` console script."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", choices=_DATASETS, help="start from a bundled database")
+    parser.add_argument("--load", metavar="FILE", help="load a definition file")
+    parser.add_argument(
+        "--engine", choices=("seminaive", "topdown"), default="seminaive",
+        help="data-query engine",
+    )
+    parser.add_argument(
+        "--style", choices=("standard", "modified"), default="standard",
+        help="transformation style for recursive describe",
+    )
+    args = parser.parse_args(argv)
+
+    session = Session(_build_kb(args), engine=args.engine, style=args.style)
+    if args.load:
+        with open(args.load) as handle:
+            count = session.load(handle.read())
+        print(f"loaded {count} definitions from {args.load}")
+    run_repl(session)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,55 @@
+"""Algorithm 2: knowledge answers in the general case (section 5.3).
+
+Recursive predicates are rewritten with the Imielinski transformation, then
+the derivation-tree search runs with the tag discipline (``r_T`` at most
+once, ``r_C`` at most twice per recursion nest — the Figure 2 bound) and the
+typing guard that disqualifies substitutions breaking a recursive
+predicate's typing (Example 7's fix).  The answers are finite and sound.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.catalog.database import KnowledgeBase
+from repro.core.search import DerivationSearch, RawAnswer, SearchConfig, SearchStatistics
+from repro.core.transform import TransformedProgram, transform_knowledge_base
+from repro.logic.atoms import Atom
+
+
+def algorithm2_config(
+    max_steps: int = 2_000_000,
+    bare_rules: str = "include",
+    maximal_identification: bool = True,
+) -> SearchConfig:
+    """The search configuration that realises Algorithm 2 (Figure 3)."""
+    return SearchConfig(
+        max_steps=max_steps,
+        use_tags=True,
+        typing_guard=True,
+        bare_rules=bare_rules,
+        maximal_identification=maximal_identification,
+    )
+
+
+def run_algorithm2(
+    kb: KnowledgeBase,
+    subject: Atom,
+    hypothesis: Sequence[Atom] = (),
+    config: SearchConfig | None = None,
+    style: str = "standard",
+    program: TransformedProgram | None = None,
+) -> tuple[list[RawAnswer], SearchStatistics]:
+    """Run Algorithm 2; returns raw answers plus search statistics.
+
+    ``style`` selects the transformation variant (``"standard"`` uses the
+    auxiliary chain predicate; ``"modified"`` avoids it where applicable —
+    the paper prefers the latter's answers when they exist).  A caller that
+    already holds a :class:`TransformedProgram` can pass it to skip
+    re-transformation.
+    """
+    if program is None:
+        program = transform_knowledge_base(kb, style=style)
+    search = DerivationSearch(program, config or algorithm2_config())
+    answers = search.describe(subject, tuple(hypothesis))
+    return answers, search.statistics

@@ -1,0 +1,176 @@
+"""Knowledge answers: the output model of describe queries.
+
+An answer to ``describe p where psi`` is a set of rules ``p <- phi``
+logically derived from the database under the hypothesis ``psi`` (paper,
+section 3.2).  :class:`KnowledgeAnswer` is one such rule plus provenance
+(which hypothesis conjuncts it used, whether it is a "bare" IDB rule emitted
+because the hypothesis never engaged); :class:`DescribeResult` is the full
+answer with search statistics and the special contradiction indicator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.logic.atoms import Atom
+from repro.logic.clauses import Rule
+from repro.logic.formulas import format_conjunction
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Variable, is_variable
+
+
+@dataclass(frozen=True)
+class KnowledgeAnswer:
+    """One rule of a knowledge answer, with provenance.
+
+    ``used_hypotheses`` holds the indices (into the query's qualifier) of
+    conjuncts whose identification produced this rule; a *bare* answer is an
+    IDB rule emitted because no derivation tree of its root rule contained a
+    hypothesis leaf (flowchart box 19).
+    """
+
+    rule: Rule
+    used_hypotheses: frozenset[int] = frozenset()
+    bare: bool = False
+    dropped_comparisons: tuple[Atom, ...] = ()
+
+    def __str__(self) -> str:
+        return str(self.rule)
+
+    @property
+    def head(self) -> Atom:
+        """The answer rule's head (the query subject)."""
+        return self.rule.head
+
+    @property
+    def body(self) -> tuple[Atom, ...]:
+        """The answer rule's body."""
+        return self.rule.body
+
+
+@dataclass
+class SearchStatistics:
+    """Counters from one derivation-tree search."""
+
+    steps: int = 0
+    rule_applications: int = 0
+    identifications: int = 0
+    typing_rejections: int = 0
+    raw_answers: int = 0
+    discarded_by_contradiction: int = 0
+    removed_as_redundant: int = 0
+
+    def merge(self, other: "SearchStatistics") -> None:
+        """Accumulate another run's counters into this one."""
+        self.steps += other.steps
+        self.rule_applications += other.rule_applications
+        self.identifications += other.identifications
+        self.typing_rejections += other.typing_rejections
+        self.raw_answers += other.raw_answers
+        self.discarded_by_contradiction += other.discarded_by_contradiction
+        self.removed_as_redundant += other.removed_as_redundant
+
+
+@dataclass
+class DescribeResult:
+    """The full answer to a knowledge query.
+
+    ``contradiction`` is the paper's special answer: it is set when at least
+    one sound rule was derived but *every* one was discarded because its
+    comparisons contradict the hypothesis — i.e. the hypothesis contradicts
+    the IDB.
+    """
+
+    subject: Atom | None
+    hypothesis: tuple[Atom, ...]
+    answers: list[KnowledgeAnswer] = field(default_factory=list)
+    contradiction: bool = False
+    algorithm: str = ""
+    statistics: SearchStatistics = field(default_factory=SearchStatistics)
+
+    def __iter__(self) -> Iterator[KnowledgeAnswer]:
+        return iter(self.answers)
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+    def __bool__(self) -> bool:
+        return bool(self.answers)
+
+    def rules(self) -> list[Rule]:
+        """The answer rules, without provenance."""
+        return [a.rule for a in self.answers]
+
+    def __str__(self) -> str:
+        if self.contradiction:
+            return "** the hypothesis contradicts the IDB **"
+        if not self.answers:
+            return "(no knowledge answer)"
+        return "\n".join(str(a) for a in self.answers)
+
+    def summary(self) -> str:
+        """One-line description for logs and benchmarks."""
+        subject = str(self.subject) if self.subject is not None else "*"
+        hypothesis = format_conjunction(self.hypothesis)
+        return (
+            f"describe {subject} where {hypothesis}: "
+            f"{len(self.answers)} rules, {self.statistics.steps} steps"
+        )
+
+
+def _readable_names(rule: Rule, reserved: frozenset[str] = frozenset()) -> Substitution:
+    """A renaming that strips mechanical ``#n`` suffixes when unambiguous.
+
+    Fresh variables like ``Z#4`` read badly in answers; each is renamed to
+    its base name (``Z``) unless that would collide with another variable of
+    the rule *or with a reserved name* (the query's hypothesis variables —
+    an answer that reused one would capture it), in which case numbered
+    variants (``Z2``, ``Z3``...) are used.
+    """
+    variables = sorted(rule.variables(), key=lambda v: v.name)
+    taken = {v.name for v in variables if not v.is_fresh()} | set(reserved)
+    mapping: dict[Variable, Variable] = {}
+    for variable in variables:
+        if not variable.is_fresh():
+            continue
+        base = variable.base_name() or "V"
+        candidate = base
+        counter = 2
+        while candidate in taken:
+            candidate = f"{base}{counter}"
+            counter += 1
+        taken.add(candidate)
+        mapping[variable] = Variable(candidate)
+    return Substitution(mapping)  # type: ignore[arg-type]
+
+
+def cleanup_answer(
+    answer: KnowledgeAnswer, reserved: frozenset[str] = frozenset()
+) -> KnowledgeAnswer:
+    """Rename fresh variables in an answer to readable names.
+
+    *reserved* holds names the renaming must not introduce (hypothesis
+    variables of the query, which the answer would otherwise capture).
+    """
+    renaming = _readable_names(answer.rule, reserved)
+    if not renaming:
+        return answer
+    return KnowledgeAnswer(
+        rule=answer.rule.substitute(renaming),
+        used_hypotheses=answer.used_hypotheses,
+        bare=answer.bare,
+        dropped_comparisons=renaming.apply_all(answer.dropped_comparisons),
+    )
+
+
+def dedupe_answers(answers: Sequence[KnowledgeAnswer]) -> list[KnowledgeAnswer]:
+    """Remove syntactic duplicates (same head and body), keeping order."""
+    seen: set[tuple[Atom, tuple[Atom, ...]]] = set()
+    result: list[KnowledgeAnswer] = []
+    for answer in answers:
+        key = (answer.rule.head, tuple(sorted(answer.rule.body, key=str)))
+        if key not in seen:
+            seen.add(key)
+            result.append(answer)
+    return result

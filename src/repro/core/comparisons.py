@@ -1,0 +1,62 @@
+"""Comparison post-processing of knowledge answers (paper, section 4).
+
+Comparison formulas are never identified during the tree search.  Before an
+answer is issued, each comparison conjunct ``beta`` of its body is checked
+against the hypothesis comparisons ``alpha``:
+
+* ``alpha |- beta``      — ``beta`` is redundant and removed;
+* ``not (alpha and beta)`` — the answer is discarded;
+* if every answer dies this way, the special "hypothesis contradicts the
+  IDB" indicator is raised by the caller.
+
+We decide both tests with the interval reasoner over the *conjunction* of
+all hypothesis comparisons (a sound strengthening of the paper's
+identical-variables pairwise check), and additionally discard answers whose
+own comparisons are jointly unsatisfiable (vacuous rules).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.answers import KnowledgeAnswer
+from repro.core.search import RawAnswer
+from repro.logic.atoms import Atom
+from repro.logic.clauses import Rule
+from repro.logic.intervals import implies, satisfiable
+
+
+def hypothesis_comparisons(hypothesis: Sequence[Atom]) -> tuple[Atom, ...]:
+    """The comparison conjuncts of a hypothesis."""
+    return tuple(a for a in hypothesis if a.is_comparison())
+
+
+def postprocess_answer(
+    raw: RawAnswer, hypothesis: Sequence[Atom]
+) -> KnowledgeAnswer | None:
+    """Apply the comparison tests to one raw answer.
+
+    Returns the finished :class:`KnowledgeAnswer`, or ``None`` when the
+    answer must be discarded because its comparisons contradict the
+    hypothesis (or themselves).
+    """
+    alphas = hypothesis_comparisons(hypothesis)
+    body_comparisons = [b for b in raw.body if b.is_comparison()]
+
+    if body_comparisons and not satisfiable([*alphas, *body_comparisons]):
+        return None
+
+    kept: list[Atom] = []
+    dropped: list[Atom] = []
+    for atom in raw.body:
+        if atom.is_comparison() and implies(alphas, atom):
+            dropped.append(atom)
+        else:
+            kept.append(atom)
+
+    return KnowledgeAnswer(
+        rule=Rule(raw.head, kept),
+        used_hypotheses=raw.used,
+        bare=raw.bare,
+        dropped_comparisons=tuple(dropped),
+    )

@@ -1,0 +1,122 @@
+"""The public ``describe`` entry point: dispatch, post-process, assemble.
+
+``describe(kb, subject, hypothesis)`` picks Algorithm 1 or 2 (by whether the
+subject depends on recursion), runs the derivation-tree search, applies the
+comparison post-processing, removes duplicate and redundant answers, cleans
+variable names, and returns a :class:`~repro.core.answers.DescribeResult` —
+including the special "hypothesis contradicts the IDB" indicator when every
+derived rule was discarded.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import CoreError
+from repro.catalog.database import KnowledgeBase
+from repro.core.algorithm1 import algorithm1_config, run_algorithm1
+from repro.core.algorithm2 import algorithm2_config, run_algorithm2
+from repro.core.answers import (
+    DescribeResult,
+    KnowledgeAnswer,
+    cleanup_answer,
+    dedupe_answers,
+)
+from repro.core.comparisons import postprocess_answer
+from repro.core.redundancy import eliminate_redundant
+from repro.core.search import SearchConfig
+from repro.logic.atoms import Atom
+
+#: Accepted values for the ``algorithm`` parameter.
+ALGORITHMS = ("auto", "algorithm1", "algorithm2")
+
+
+def describe(
+    kb: KnowledgeBase,
+    subject: Atom,
+    hypothesis: Sequence[Atom] = (),
+    algorithm: str = "auto",
+    style: str = "standard",
+    config: SearchConfig | None = None,
+) -> DescribeResult:
+    """Evaluate a knowledge query ``describe subject where hypothesis``.
+
+    Parameters
+    ----------
+    subject:
+        An atom whose predicate is an IDB predicate (the paper requires
+        this: knowledge answers describe *defined* concepts).
+    hypothesis:
+        A positive formula (conjunction of atoms and comparisons).
+    algorithm:
+        ``"auto"`` picks Algorithm 2 when the subject depends on recursion
+        and Algorithm 1 otherwise; the explicit names force a choice
+        (forcing Algorithm 1 onto a recursive subject raises
+        :class:`~repro.errors.NonRecursiveSubjectRequired` unless the caller
+        passes a bounded ``config`` and catches the budget error).
+    style:
+        Transformation style for Algorithm 2 (``"standard"``/``"modified"``).
+    """
+    if algorithm not in ALGORITHMS:
+        raise CoreError(f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}")
+    if subject.is_comparison():
+        raise CoreError("the subject of describe may not be a comparison")
+    if not kb.is_idb(subject.predicate):
+        raise CoreError(
+            f"the subject of describe must use an IDB predicate, "
+            f"got {subject.predicate!r}"
+        )
+    kb.schema(subject.predicate).check_arity(subject.arity)
+    graph = kb.dependency_graph()
+    relevant = {subject.predicate} | set(graph.dependencies(subject.predicate))
+    for rule in kb.rules():
+        if rule.negated and rule.head.predicate in relevant:
+            raise CoreError(
+                f"describe covers the positive fragment only; rule {rule} "
+                "uses negation"
+            )
+    hypothesis = tuple(hypothesis)
+
+    if algorithm == "auto":
+        algorithm = (
+            "algorithm2" if kb.depends_on_recursion(subject.predicate) else "algorithm1"
+        )
+
+    if algorithm == "algorithm1":
+        raw_answers, statistics = run_algorithm1(
+            kb, subject, hypothesis, config=config or algorithm1_config()
+        )
+    else:
+        raw_answers, statistics = run_algorithm2(
+            kb, subject, hypothesis, config=config or algorithm2_config(), style=style
+        )
+
+    answers: list[KnowledgeAnswer] = []
+    discarded = 0
+    for raw in raw_answers:
+        finished = postprocess_answer(raw, hypothesis)
+        if finished is None:
+            discarded += 1
+        else:
+            answers.append(finished)
+    statistics.discarded_by_contradiction += discarded
+
+    # Clean variable names first: the redundancy check treats the subsumed
+    # rule's variables as rigid, which requires them to be non-fresh.
+    hypothesis_names = frozenset(
+        v.name for atom in hypothesis for v in atom.variables()
+    )
+    answers = [cleanup_answer(a, reserved=hypothesis_names) for a in answers]
+    answers = dedupe_answers(answers)
+    before = len(answers)
+    answers = eliminate_redundant(answers)
+    statistics.removed_as_redundant += before - len(answers)
+
+    return DescribeResult(
+        subject=subject,
+        hypothesis=hypothesis,
+        answers=answers,
+        contradiction=bool(discarded) and not answers,
+        algorithm=algorithm,
+        statistics=statistics,
+    )

@@ -1,0 +1,124 @@
+"""Rule-base diagnostics: the redundancies the paper worries about.
+
+Section 6: "some redundancies may go undetected, including redundancies
+that originate from the IDB rules themselves (e.g., when two rules have the
+same head, but the body of one rule is a consequence of the body of the
+other)."  This module finds exactly those, plus the other hygiene problems
+a knowledge-rich database accumulates:
+
+* **redundant rules** — a rule theta-subsumed by a sibling rule;
+* **unsafe rules** — range-restriction violations;
+* **empty predicates** — IDB predicates with no derivable facts on the
+  current EDB (often a typo in a rule body);
+* **undefined predicates** — body atoms whose predicate has no facts and no
+  rules;
+* **unused predicates** — EDB/IDB predicates no rule references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.database import KnowledgeBase
+from repro.core.redundancy import subsumes
+from repro.engine.safety import safety_problems
+from repro.engine.seminaive import SemiNaiveEngine
+from repro.logic.clauses import Rule
+
+
+@dataclass
+class RuleBaseReport:
+    """Findings of one diagnostic pass."""
+
+    redundant_rules: list[tuple[Rule, Rule]] = field(default_factory=list)  # (kept, redundant)
+    unsafe_rules: list[tuple[Rule, str]] = field(default_factory=list)
+    empty_predicates: list[str] = field(default_factory=list)
+    undefined_predicates: list[tuple[Rule, str]] = field(default_factory=list)
+    unused_predicates: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """Whether no *problem* was found.
+
+        ``unused_predicates`` is informational (query-only relations are
+        perfectly normal) and does not count against cleanliness.
+        """
+        return not (
+            self.redundant_rules
+            or self.unsafe_rules
+            or self.empty_predicates
+            or self.undefined_predicates
+        )
+
+    def __str__(self) -> str:
+        if self.clean:
+            return "rule base is clean"
+        lines = []
+        for kept, redundant in self.redundant_rules:
+            lines.append(f"redundant: {redundant}  (subsumed by: {kept})")
+        for rule, problem in self.unsafe_rules:
+            lines.append(f"unsafe: {rule}  ({problem})")
+        for predicate in self.empty_predicates:
+            lines.append(f"empty extension: {predicate}")
+        for rule, predicate in self.undefined_predicates:
+            lines.append(f"undefined predicate {predicate} in: {rule}")
+        for predicate in self.unused_predicates:
+            lines.append(f"unused: {predicate}")
+        return "\n".join(lines)
+
+
+def find_redundant_rules(kb: KnowledgeBase) -> list[tuple[Rule, Rule]]:
+    """Pairs (kept, redundant) of same-head rules where one subsumes the other.
+
+    Negation-bearing rules are compared only when their negated parts are
+    syntactically equal (subsumption with negation is not antitone-safe).
+    """
+    pairs: list[tuple[Rule, Rule]] = []
+    for predicate in kb.idb_predicates():
+        rules = kb.rules_for(predicate)
+        for i, left in enumerate(rules):
+            for right in rules[i + 1 :]:
+                if set(left.negated) != set(right.negated):
+                    continue
+                left_subsumes = subsumes(left, right)
+                right_subsumes = subsumes(right, left)
+                if left_subsumes and right_subsumes:
+                    pairs.append((left, right))  # variants: keep the first
+                elif left_subsumes:
+                    pairs.append((left, right))
+                elif right_subsumes:
+                    pairs.append((right, left))
+    return pairs
+
+
+def audit(kb: KnowledgeBase, check_extensions: bool = True) -> RuleBaseReport:
+    """Run all diagnostics over a knowledge base."""
+    report = RuleBaseReport()
+    report.redundant_rules = find_redundant_rules(kb)
+
+    for rule in kb.rules():
+        problems = safety_problems(rule)
+        if problems:
+            report.unsafe_rules.append((rule, "; ".join(problems)))
+        for atom in (*rule.body, *rule.negated):
+            if atom.is_comparison():
+                continue
+            if not kb.has_predicate(atom.predicate):
+                report.undefined_predicates.append((rule, atom.predicate))
+
+    referenced = {
+        atom.predicate
+        for rule in kb.rules()
+        for atom in (*rule.body, *rule.negated)
+        if not atom.is_comparison()
+    }
+    for predicate in kb.edb_predicates():
+        if predicate not in referenced:
+            report.unused_predicates.append(predicate)
+
+    if check_extensions and not report.unsafe_rules:
+        engine = SemiNaiveEngine(kb)
+        for predicate in kb.idb_predicates():
+            if len(engine.derived_relation(predicate)) == 0:
+                report.empty_predicates.append(predicate)
+    return report

@@ -1,0 +1,108 @@
+"""Redundancy elimination among knowledge answers.
+
+The paper: "an answer to a knowledge query is free of redundancies if none
+of its formulas is a logical consequence of any of its other formulas."
+For our positive-conjunctive rules, rule ``r1`` entails rule ``r2`` exactly
+when ``r1`` theta-subsumes ``r2``: some substitution over *r1's own
+variables* maps ``r1``'s head onto ``r2``'s head and each of ``r1``'s body
+conjuncts into ``r2``'s body — with comparison conjuncts handled
+semantically (``r2``'s comparisons must imply the image of each ``r1``
+comparison).
+
+Implementation note: the subsuming rule is renamed apart first and only its
+(freshly renamed) variables may be bound; the subsumed rule's variables are
+rigid.  Without this, two rules sharing variable names would let the head
+match silently rebind a head variable (identity bindings carry no record),
+wrongly making ``prior(X,Y) <- prereq(X,Y)`` subsume
+``prior(X,Y) <- prereq(X,Z) and prior(Z,Y)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.answers import KnowledgeAnswer
+from repro.logic.atoms import Atom
+from repro.logic.clauses import Rule
+from repro.logic.intervals import implies
+from repro.logic.rename import VariableRenamer
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Term, is_variable
+
+
+def _match_rigid_terms(pattern: Term, target: Term, theta: Substitution) -> Substitution | None:
+    """Match where only *fresh* pattern variables may be bound."""
+    pattern = theta.apply_term(pattern)
+    if pattern == target:
+        return theta
+    if is_variable(pattern) and pattern.is_fresh():  # type: ignore[union-attr]
+        return theta.bind(pattern, target)  # type: ignore[arg-type]
+    return None
+
+
+def _match_rigid(pattern: Atom, target: Atom, theta: Substitution) -> Substitution | None:
+    """One-way atom matching binding only fresh (renamed-apart) variables."""
+    if pattern.predicate != target.predicate or pattern.arity != target.arity:
+        return None
+    result = theta
+    for p_arg, t_arg in zip(pattern.args, target.args):
+        extended = _match_rigid_terms(p_arg, t_arg, result)
+        if extended is None:
+            return None
+        result = extended
+    return result
+
+
+def subsumes(general: Rule, specific: Rule) -> bool:
+    """Whether *general* theta-subsumes *specific* (so *specific* is redundant)."""
+    renamed = VariableRenamer().rename_rule(general)
+    head_theta = _match_rigid(renamed.head, specific.head, Substitution.EMPTY)
+    if head_theta is None:
+        return False
+    general_positive = [b for b in renamed.body if not b.is_comparison()]
+    general_comparisons = [b for b in renamed.body if b.is_comparison()]
+    specific_positive = [b for b in specific.body if not b.is_comparison()]
+    specific_comparisons = [b for b in specific.body if b.is_comparison()]
+
+    def extend(theta: Substitution, remaining: list[Atom]) -> bool:
+        if not remaining:
+            return all(
+                implies(specific_comparisons, theta.apply(comparison))
+                for comparison in general_comparisons
+            )
+        first, *rest = remaining
+        for target in specific_positive:
+            extended = _match_rigid(theta.apply(first), target, theta)
+            if extended is not None and extend(extended, rest):
+                return True
+        return False
+
+    return extend(head_theta, general_positive)
+
+
+def equivalent(left: Rule, right: Rule) -> bool:
+    """Mutual subsumption (the rules are logically the same answer)."""
+    return subsumes(left, right) and subsumes(right, left)
+
+
+def eliminate_redundant(answers: Sequence[KnowledgeAnswer]) -> list[KnowledgeAnswer]:
+    """Drop answers subsumed by other answers; keep the first of variants."""
+    kept: list[KnowledgeAnswer] = []
+    for index, candidate in enumerate(answers):
+        redundant = False
+        for other_index, other in enumerate(answers):
+            if other_index == index:
+                continue
+            if not subsumes(other.rule, candidate.rule):
+                continue
+            if subsumes(candidate.rule, other.rule):
+                # Variants: keep whichever comes first in the answer order.
+                if other_index < index:
+                    redundant = True
+                    break
+            else:
+                redundant = True
+                break
+        if not redundant:
+            kept.append(candidate)
+    return kept

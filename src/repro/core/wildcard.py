@@ -1,0 +1,56 @@
+"""Wildcard describe: ``describe * where psi`` (section 6).
+
+"The wildcard subject would express all the subjects that are derivable
+from this qualifier" — e.g. ``describe * where honor(X)`` inquires about
+the advantages of honor status.  We run an ordinary describe for every IDB
+predicate (over fresh variables) under the hypothesis and keep only results
+whose answers actually *used* the hypothesis; everything else would merely
+restate the IDB.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.catalog.database import KnowledgeBase
+from repro.core.answers import DescribeResult
+from repro.core.describe import describe
+from repro.core.search import SearchConfig
+from repro.logic.atoms import Atom
+from repro.logic.terms import Variable
+
+
+def describe_wildcard(
+    kb: KnowledgeBase,
+    hypothesis: Sequence[Atom],
+    config: SearchConfig | None = None,
+    style: str = "standard",
+) -> dict[str, DescribeResult]:
+    """Evaluate ``describe * where hypothesis``.
+
+    Returns a mapping from IDB predicate name to its describe result,
+    restricted to predicates with at least one hypothesis-using answer.
+    The hypothesis's own predicates are skipped when the result would be
+    the trivial self-description.
+    """
+    hypothesis = tuple(hypothesis)
+    hypothesis_predicates = {a.predicate for a in hypothesis if not a.is_comparison()}
+    results: dict[str, DescribeResult] = {}
+    for predicate in kb.idb_predicates():
+        if predicate in hypothesis_predicates:
+            continue  # would only restate the hypothesis about itself
+        schema = kb.schema(predicate)
+        subject = Atom(predicate, [Variable(f"W{i + 1}") for i in range(schema.arity)])
+        result = describe(kb, subject, hypothesis, config=config, style=style)
+        engaged = [a for a in result.answers if a.used_hypotheses and not a.bare]
+        if not engaged:
+            continue
+        results[predicate] = DescribeResult(
+            subject=result.subject,
+            hypothesis=result.hypothesis,
+            answers=engaged,
+            contradiction=result.contradiction,
+            algorithm=result.algorithm,
+            statistics=result.statistics,
+        )
+    return results

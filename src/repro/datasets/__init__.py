@@ -1,0 +1,35 @@
+"""Bundled example databases and synthetic workload generators."""
+
+from repro.datasets.enterprise import enterprise_kb, enterprise_rules
+from repro.datasets.generators import (
+    chain_graph_kb,
+    component_graph_kb,
+    hypothesis_of_size,
+    random_graph_kb,
+    rule_chain_kb,
+    rule_tree_kb,
+    scaled_university_kb,
+    wide_union_kb,
+)
+from repro.datasets.genealogy import genealogy_kb, genealogy_rules
+from repro.datasets.routing import routing_kb, symmetric_routing_kb
+from repro.datasets.university import university_kb, university_rules
+
+__all__ = [
+    "enterprise_kb",
+    "enterprise_rules",
+    "chain_graph_kb",
+    "component_graph_kb",
+    "hypothesis_of_size",
+    "random_graph_kb",
+    "rule_chain_kb",
+    "rule_tree_kb",
+    "scaled_university_kb",
+    "wide_union_kb",
+    "genealogy_kb",
+    "genealogy_rules",
+    "routing_kb",
+    "symmetric_routing_kb",
+    "university_kb",
+    "university_rules",
+]

@@ -1,0 +1,116 @@
+"""An enterprise/HR database: a second knowledge-rich domain.
+
+Demonstrates the paper's claim that describe queries matter "when the
+database knowledge is of substantial volume and complexity": eligibility
+and compensation concepts stack several rules deep, so a user genuinely
+cannot tell data from knowledge.
+
+EDB::
+
+    employee(Name, Dept, Salary, Years)
+    department(Dept, Division)
+    manages(Manager, Name)
+    project(Proj, Dept, Budget)
+    assigned(Name, Proj, Hours)
+    review(Name, Year, Score)
+
+IDB::
+
+    senior(X)         <- employee(X, D, S, Y) and (Y >= 5)
+    well_paid(X)      <- employee(X, D, S, Y) and (S > 100000)
+    high_performer(X) <- review(X, Y, S) and (S >= 4.5)
+    promotable(X)     <- senior(X) and high_performer(X)
+    lead_eligible(X, P)  <- promotable(X) and assigned(X, P, H) and (H >= 20)
+    chain(X, Y)       <- manages(X, Y)
+    chain(X, Y)       <- manages(X, Z) and chain(Z, Y)
+    bonus_eligible(X) <- lead_eligible(X, P) and project(P, D, B) and (B > 500000)
+"""
+
+from __future__ import annotations
+
+from repro.catalog.database import KnowledgeBase
+from repro.lang.parser import parse_rule
+
+ENTERPRISE_RULES = [
+    "senior(X) <- employee(X, D, S, Y) and (Y >= 5).",
+    "well_paid(X) <- employee(X, D, S, Y) and (S > 100000).",
+    "high_performer(X) <- review(X, Y, S) and (S >= 4.5).",
+    "promotable(X) <- senior(X) and high_performer(X).",
+    "lead_eligible(X, P) <- promotable(X) and assigned(X, P, H) and (H >= 20).",
+    "chain(X, Y) <- manages(X, Y).",
+    "chain(X, Y) <- manages(X, Z) and chain(Z, Y).",
+    "bonus_eligible(X) <- lead_eligible(X, P) and project(P, D, B) and (B > 500000).",
+]
+
+_EMPLOYEES = [
+    ("alice", "engineering", 140000, 8),
+    ("bruno", "engineering", 95000, 6),
+    ("chen", "engineering", 120000, 3),
+    ("dora", "sales", 105000, 10),
+    ("emil", "sales", 70000, 2),
+    ("fatima", "research", 130000, 7),
+    ("george", "research", 88000, 5),
+]
+
+_DEPARTMENTS = [
+    ("engineering", "product"),
+    ("sales", "field"),
+    ("research", "product"),
+]
+
+_MANAGES = [
+    ("alice", "bruno"),
+    ("alice", "chen"),
+    ("dora", "emil"),
+    ("fatima", "george"),
+    ("alice", "fatima"),
+]
+
+_PROJECTS = [
+    ("atlas", "engineering", 750000),
+    ("borealis", "engineering", 300000),
+    ("comet", "research", 900000),
+    ("dynamo", "sales", 150000),
+]
+
+_ASSIGNED = [
+    ("alice", "atlas", 30),
+    ("bruno", "atlas", 40),
+    ("chen", "borealis", 25),
+    ("dora", "dynamo", 35),
+    ("fatima", "comet", 28),
+    ("george", "comet", 15),
+]
+
+_REVIEWS = [
+    ("alice", 1989, 4.8),
+    ("bruno", 1989, 4.6),
+    ("chen", 1989, 4.9),
+    ("dora", 1989, 4.2),
+    ("fatima", 1989, 4.7),
+    ("george", 1989, 3.9),
+]
+
+
+def enterprise_rules() -> list:
+    """The enterprise IDB, parsed."""
+    return [parse_rule(text) for text in ENTERPRISE_RULES]
+
+
+def enterprise_kb(name: str = "enterprise") -> KnowledgeBase:
+    """The enterprise database with a deterministic fact base."""
+    kb = KnowledgeBase(name)
+    kb.declare_edb("employee", 4, ["name", "dept", "salary", "years"])
+    kb.declare_edb("department", 2, ["dept", "division"])
+    kb.declare_edb("manages", 2, ["manager", "name"])
+    kb.declare_edb("project", 3, ["proj", "dept", "budget"])
+    kb.declare_edb("assigned", 3, ["name", "proj", "hours"])
+    kb.declare_edb("review", 3, ["name", "year", "score"])
+    kb.add_facts("employee", _EMPLOYEES)
+    kb.add_facts("department", _DEPARTMENTS)
+    kb.add_facts("manages", _MANAGES)
+    kb.add_facts("project", _PROJECTS)
+    kb.add_facts("assigned", _ASSIGNED)
+    kb.add_facts("review", _REVIEWS)
+    kb.add_rules(enterprise_rules())
+    return kb

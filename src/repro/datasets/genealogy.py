@@ -1,0 +1,79 @@
+"""A genealogy database: the classic recursive-Datalog domain.
+
+Useful beyond variety: its rules exercise corners the university database
+does not —
+
+* ``sibling`` has *two occurrences of the same predicate* in one body
+  (hypothesis identification must pick occurrences apart);
+* ``ancestor`` is a transitive-closure chain eligible for the *modified*
+  transformation;
+* ``cousin`` stacks two recursion-free joins over a recursive concept.
+
+EDB::
+
+    parent(Parent, Child)
+    person(Name, Born)
+
+IDB::
+
+    ancestor(X, Y)  <- parent(X, Y)
+    ancestor(X, Y)  <- parent(X, Z) and ancestor(Z, Y)
+    sibling(X, Y)   <- parent(P, X) and parent(P, Y) and (X != Y)
+    cousin(X, Y)    <- parent(A, X) and parent(B, Y) and sibling(A, B)
+    elder(X)        <- person(X, B) and (B < 1940)
+"""
+
+from __future__ import annotations
+
+from repro.catalog.database import KnowledgeBase
+from repro.lang.parser import parse_rule
+
+GENEALOGY_RULES = [
+    "ancestor(X, Y) <- parent(X, Y).",
+    "ancestor(X, Y) <- parent(X, Z) and ancestor(Z, Y).",
+    "sibling(X, Y) <- parent(P, X) and parent(P, Y) and (X != Y).",
+    "cousin(X, Y) <- parent(A, X) and parent(B, Y) and sibling(A, B).",
+    "elder(X) <- person(X, B) and (B < 1940).",
+]
+
+#: Three generations.
+_PARENT = [
+    ("george", "elizabeth"),
+    ("george", "margaret"),
+    ("elizabeth", "charles"),
+    ("elizabeth", "anne"),
+    ("margaret", "david"),
+    ("charles", "william"),
+    ("charles", "harry"),
+    ("anne", "peter"),
+    ("anne", "zara"),
+]
+
+_PERSON = [
+    ("george", 1895),
+    ("elizabeth", 1926),
+    ("margaret", 1930),
+    ("charles", 1948),
+    ("anne", 1950),
+    ("david", 1961),
+    ("william", 1982),
+    ("harry", 1984),
+    ("peter", 1977),
+    ("zara", 1981),
+]
+
+
+def genealogy_rules() -> list:
+    """The genealogy IDB, parsed."""
+    return [parse_rule(text) for text in GENEALOGY_RULES]
+
+
+def genealogy_kb(name: str = "genealogy") -> KnowledgeBase:
+    """Three royal generations with the classic recursive rules."""
+    kb = KnowledgeBase(name)
+    kb.declare_edb("parent", 2, ["parent", "child"])
+    kb.declare_edb("person", 2, ["name", "born"])
+    kb.add_facts("parent", _PARENT)
+    kb.add_facts("person", _PERSON)
+    kb.add_rules(genealogy_rules())
+    return kb

@@ -1,0 +1,204 @@
+"""Synthetic workload generators for benchmarks and property tests.
+
+The paper reports no measurements, so the scaling studies (EXPERIMENTS.md,
+S1-S4) need synthetic workloads.  Everything here is deterministic given a
+seed.
+
+* :func:`random_graph_kb` — a random edge relation with transitive closure
+  rules (retrieve scaling, transformation equivalence checks);
+* :func:`chain_graph_kb` — a simple path graph (worst-case recursion depth);
+* :func:`rule_chain_kb` — IDB predicates stacked ``depth`` deep (describe
+  scaling with derivation depth);
+* :func:`rule_tree_kb` — each rule body fans out to ``fanout`` sub-concepts
+  (describe scaling with tree width);
+* :func:`wide_union_kb` — one concept defined by ``breadth`` alternative
+  rules (describe scaling with rule alternatives);
+* :func:`scaled_university_kb` — the paper's schema with ``n`` synthetic
+  students (retrieve scaling on the running example).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.catalog.database import KnowledgeBase
+from repro.lang.parser import parse_rule
+from repro.logic.atoms import Atom, comparison
+from repro.logic.clauses import Rule
+from repro.logic.terms import Variable
+
+
+def random_graph_kb(
+    nodes: int, edges: int, seed: int = 0, name: str = "graph"
+) -> KnowledgeBase:
+    """A random directed graph with transitive-closure rules.
+
+    Predicates: ``edge/2`` (EDB) and ``path/2`` = TC of ``edge``.
+    """
+    rng = random.Random(seed)
+    kb = KnowledgeBase(name)
+    kb.declare_edb("edge", 2, ["src", "dst"])
+    seen: set[tuple[str, str]] = set()
+    while len(seen) < edges:
+        src = f"n{rng.randrange(nodes)}"
+        dst = f"n{rng.randrange(nodes)}"
+        if src != dst:
+            seen.add((src, dst))
+    kb.add_facts("edge", sorted(seen))
+    kb.add_rules(
+        [
+            parse_rule("path(X, Y) <- edge(X, Y)."),
+            parse_rule("path(X, Y) <- edge(X, Z) and path(Z, Y)."),
+        ]
+    )
+    return kb
+
+
+def component_graph_kb(
+    components: int, size: int, seed: int = 0, name: str = "components"
+) -> KnowledgeBase:
+    """Many small disconnected random components with TC rules.
+
+    The classic workload where query-driven evaluation shines: a query about
+    one component's node should not pay for the other components (bottom-up
+    evaluation materialises all of ``path`` regardless).  Node names are
+    ``c<component>_n<index>``.
+    """
+    rng = random.Random(seed)
+    kb = KnowledgeBase(name)
+    kb.declare_edb("edge", 2, ["src", "dst"])
+    rows: list[tuple[str, str]] = []
+    for component in range(components):
+        nodes = [f"c{component}_n{i}" for i in range(size)]
+        for i in range(size - 1):
+            rows.append((nodes[i], nodes[i + 1]))
+        for _ in range(size // 2):
+            src, dst = rng.sample(nodes, 2)
+            rows.append((src, dst))
+    kb.add_facts("edge", rows)
+    kb.add_rules(
+        [
+            parse_rule("path(X, Y) <- edge(X, Y)."),
+            parse_rule("path(X, Y) <- edge(X, Z) and path(Z, Y)."),
+        ]
+    )
+    return kb
+
+
+def chain_graph_kb(length: int, name: str = "chain") -> KnowledgeBase:
+    """A path graph ``n0 -> n1 -> ... -> n<length>`` with TC rules."""
+    kb = KnowledgeBase(name)
+    kb.declare_edb("edge", 2, ["src", "dst"])
+    kb.add_facts("edge", [(f"n{i}", f"n{i + 1}") for i in range(length)])
+    kb.add_rules(
+        [
+            parse_rule("path(X, Y) <- edge(X, Y)."),
+            parse_rule("path(X, Y) <- edge(X, Z) and path(Z, Y)."),
+        ]
+    )
+    return kb
+
+
+def rule_chain_kb(depth: int, facts_per_level: int = 4, name: str = "rulechain") -> KnowledgeBase:
+    """IDB concepts stacked ``depth`` deep.
+
+    ``c0(X) <- c1(X) and e0(X, Y0)``; ...; ``c<depth-1>(X) <- base(X) and
+    e<depth-1>(X, Y)``.  Describe queries on ``c0`` must build derivation
+    trees of the full depth.
+    """
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    kb = KnowledgeBase(name)
+    kb.declare_edb("base", 1, ["item"])
+    kb.add_facts("base", [(f"v{i}",) for i in range(facts_per_level)])
+    for level in range(depth):
+        kb.declare_edb(f"e{level}", 2, ["item", "tag"])
+        kb.add_facts(
+            f"e{level}",
+            [(f"v{i}", f"t{level}") for i in range(facts_per_level)],
+        )
+    for level in range(depth):
+        inner = f"c{level + 1}" if level + 1 < depth else "base"
+        kb.add_rule(
+            parse_rule(f"c{level}(X) <- {inner}(X) and e{level}(X, Y).")
+        )
+    return kb
+
+
+def rule_tree_kb(depth: int, fanout: int, name: str = "ruletree") -> KnowledgeBase:
+    """A complete concept tree: each level's rule references ``fanout`` children.
+
+    ``t_0_0(X) <- t_1_0(X) and ... and t_1_<fanout-1>(X)``; leaves are EDB.
+    Derivation trees for the root have ``fanout**depth`` leaves.
+    """
+    if depth < 1 or fanout < 1:
+        raise ValueError("depth and fanout must be at least 1")
+    kb = KnowledgeBase(name)
+    leaf_count = fanout ** depth
+    for leaf in range(leaf_count):
+        kb.declare_edb(f"leaf{leaf}", 1, ["item"])
+        kb.add_fact(f"leaf{leaf}", "v0")
+    for level in range(depth):
+        for index in range(fanout ** level):
+            children = []
+            for child in range(fanout):
+                child_index = index * fanout + child
+                if level + 1 == depth:
+                    children.append(f"leaf{child_index}(X)")
+                else:
+                    children.append(f"t_{level + 1}_{child_index}(X)")
+            kb.add_rule(parse_rule(f"t_{level}_{index}(X) <- {' and '.join(children)}."))
+    return kb
+
+
+def wide_union_kb(breadth: int, name: str = "wideunion") -> KnowledgeBase:
+    """One concept defined by ``breadth`` alternative rules."""
+    if breadth < 1:
+        raise ValueError("breadth must be at least 1")
+    kb = KnowledgeBase(name)
+    for index in range(breadth):
+        kb.declare_edb(f"alt{index}", 2, ["item", "value"])
+        kb.add_fact(f"alt{index}", "v0", index)
+        rule = Rule(
+            Atom("concept", [Variable("X")]),
+            [
+                Atom(f"alt{index}", [Variable("X"), Variable("V")]),
+                comparison(Variable("V"), ">=", index),
+            ],
+        )
+        kb.add_rule(rule)
+    return kb
+
+
+def scaled_university_kb(students: int, seed: int = 0, name: str = "university_scaled") -> KnowledgeBase:
+    """The paper's university schema with ``students`` synthetic students."""
+    from repro.datasets.university import university_kb
+
+    rng = random.Random(seed)
+    kb = university_kb(name)
+    course_names = [row[0].value for row in kb.facts("course")]
+    majors = ["math", "cs", "physics", "history"]
+    semesters = ["f88", "s89", "f89"]
+    for index in range(students):
+        sname = f"s{index}"
+        gpa = round(rng.uniform(2.0, 4.0), 2)
+        kb.add_fact("student", sname, rng.choice(majors), gpa)
+        kb.add_fact("enroll", sname, rng.choice(course_names))
+        for _ in range(rng.randrange(1, 4)):
+            kb.add_fact(
+                "complete",
+                sname,
+                rng.choice(course_names),
+                rng.choice(semesters),
+                round(rng.uniform(2.0, 4.0), 1),
+            )
+    return kb
+
+
+def hypothesis_of_size(size: int) -> list[str]:
+    """Texts of ``size`` hypothesis conjuncts for the rule-chain databases."""
+    conjuncts = []
+    for index in range(size):
+        conjuncts.append(f"e{index}(X, T{index})")
+    return conjuncts

@@ -1,0 +1,91 @@
+"""A flight-routing database for the paper's introduction examples 5 and 6.
+
+"Assume a database with routing information (such as airports and flights
+connecting them) and the standard recursive definition of reachability."
+The two abstract queries the paper motivates —
+
+* "Do you know how to get from any point to any other point?"  (is a
+  definition of reachability available: answered by ``describe reach``)
+* "When x is reachable from y, is it guaranteed that y is also reachable
+  from x?"  (is reachability symmetric: a permutation-rule necessity test,
+  section 5.3)
+
+— are both exercised by :mod:`examples.flight_routes` on this database.
+
+EDB::
+
+    airport(Code, City)
+    flight(Airline, From, To)
+
+IDB::
+
+    connected(X, Y) <- flight(A, X, Y)
+    reach(X, Y)     <- connected(X, Y)
+    reach(X, Y)     <- connected(X, Z) and reach(Z, Y)
+
+:func:`symmetric_routing_kb` adds the untyped permutation rule
+``connected(X, Y) <- connected(Y, X)`` is *not* expressible (EDB head);
+instead it defines ``link`` with an explicit symmetry rule, the shape the
+paper's section 5.3 relaxation handles by bounded application.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.database import KnowledgeBase
+from repro.lang.parser import parse_rule
+
+ROUTING_RULES = [
+    "connected(X, Y) <- flight(A, X, Y).",
+    "reach(X, Y) <- connected(X, Y).",
+    "reach(X, Y) <- connected(X, Z) and reach(Z, Y).",
+]
+
+SYMMETRIC_RULES = [
+    "link(X, Y) <- flight(A, X, Y).",
+    "link(X, Y) <- link(Y, X).",  # permutation rule: flights are bidirectional
+    "trip(X, Y) <- link(X, Y).",
+    "trip(X, Y) <- link(X, Z) and trip(Z, Y).",
+]
+
+_AIRPORTS = [
+    ("lax", "los_angeles"),
+    ("sfo", "san_francisco"),
+    ("jfk", "new_york"),
+    ("ord", "chicago"),
+    ("sea", "seattle"),
+    ("den", "denver"),
+    ("atl", "atlanta"),
+]
+
+_FLIGHTS = [
+    ("aa", "lax", "sfo"),
+    ("aa", "sfo", "sea"),
+    ("ua", "lax", "den"),
+    ("ua", "den", "ord"),
+    ("ua", "ord", "jfk"),
+    ("dl", "atl", "jfk"),
+    ("dl", "lax", "atl"),
+    ("aa", "sea", "ord"),
+]
+
+
+def routing_kb(name: str = "routing") -> KnowledgeBase:
+    """Airports, flights, and the standard recursive reachability."""
+    kb = KnowledgeBase(name)
+    kb.declare_edb("airport", 2, ["code", "city"])
+    kb.declare_edb("flight", 3, ["airline", "origin", "destination"])
+    kb.add_facts("airport", _AIRPORTS)
+    kb.add_facts("flight", _FLIGHTS)
+    kb.add_rules(parse_rule(text) for text in ROUTING_RULES)
+    return kb
+
+
+def symmetric_routing_kb(name: str = "routing_symmetric") -> KnowledgeBase:
+    """Routing with an explicit symmetry (permutation) rule on links."""
+    kb = KnowledgeBase(name)
+    kb.declare_edb("airport", 2, ["code", "city"])
+    kb.declare_edb("flight", 3, ["airline", "origin", "destination"])
+    kb.add_facts("airport", _AIRPORTS)
+    kb.add_facts("flight", _FLIGHTS)
+    kb.add_rules(parse_rule(text) for text in SYMMETRIC_RULES)
+    return kb

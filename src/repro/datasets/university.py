@@ -1,0 +1,156 @@
+"""The paper's example database (section 2.2).
+
+EDB predicates::
+
+    student(Sname, Major, Gpa)
+    professor(Pname, Dept, Phone)
+    course(Ctitle, Units)
+    enroll(Sname, Ctitle)
+    teach(Pname, Ctitle)
+    prereq(Ctitle, Ptitle)
+    taught(Pname, Ctitle, Sem, Eval)
+    complete(Sname, Ctitle, Sem, Grade)
+
+IDB predicates::
+
+    honor(X)      <- student(X, Y, Z) and (Z > 3.7)
+    prior(X, Y)   <- prereq(X, Y)
+    prior(X, Y)   <- prereq(X, Z) and prior(Z, Y)
+    can_ta(X, Y)  <- honor(X) and complete(X, Y, Z, U) and (U > 3.3)
+                     and taught(V, Y, Z, W) and teach(V, Y)
+    can_ta(X, Y)  <- honor(X) and complete(X, Y, Z, 4.0)
+
+The paper gives no facts; :func:`university_kb` populates a small, fully
+deterministic instance chosen so every worked example has a non-empty data
+answer (e.g. ``retrieve honor(X) where enroll(X, databases)`` succeeds, and
+``can_ta`` has witnesses through both of its rules).
+:func:`university_rules` returns just the IDB, for tests that need the rule
+set without facts.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.database import KnowledgeBase
+from repro.lang.parser import parse_rule
+
+#: The IDB exactly as printed in the paper (section 2.2).
+UNIVERSITY_RULES = [
+    "honor(X) <- student(X, Y, Z) and (Z > 3.7).",
+    "prior(X, Y) <- prereq(X, Y).",
+    "prior(X, Y) <- prereq(X, Z) and prior(Z, Y).",
+    (
+        "can_ta(X, Y) <- honor(X) and complete(X, Y, Z, U) and (U > 3.3) "
+        "and taught(V, Y, Z, W) and teach(V, Y)."
+    ),
+    "can_ta(X, Y) <- honor(X) and complete(X, Y, Z, 4.0).",
+]
+
+_STUDENTS = [
+    ("ann", "math", 3.9),
+    ("bob", "math", 3.8),
+    ("carol", "cs", 3.95),
+    ("dave", "cs", 3.2),
+    ("eve", "math", 3.5),
+    ("frank", "physics", 3.75),
+    ("grace", "cs", 4.0),
+    ("hugo", "math", 2.9),
+]
+
+_PROFESSORS = [
+    ("susan", "cs", 5551),
+    ("tom", "cs", 5552),
+    ("uma", "math", 5553),
+    ("victor", "physics", 5554),
+]
+
+_COURSES = [
+    ("databases", 4),
+    ("datastructures", 4),
+    ("programming", 3),
+    ("algorithms", 4),
+    ("calculus", 4),
+    ("algebra", 3),
+    ("mechanics", 4),
+]
+
+_ENROLL = [
+    ("ann", "databases"),
+    ("bob", "databases"),
+    ("carol", "databases"),
+    ("dave", "databases"),
+    ("eve", "algorithms"),
+    ("frank", "mechanics"),
+    ("grace", "algorithms"),
+]
+
+#: Current-semester teaching assignments.
+_TEACH = [
+    ("susan", "databases"),
+    ("tom", "algorithms"),
+    ("uma", "calculus"),
+    ("victor", "mechanics"),
+]
+
+#: prereq(Ctitle, Ptitle): Ptitle is a prerequisite of Ctitle.
+_PREREQ = [
+    ("databases", "datastructures"),
+    ("datastructures", "programming"),
+    ("algorithms", "datastructures"),
+    ("calculus", "algebra"),
+    ("mechanics", "calculus"),
+]
+
+#: taught(Pname, Ctitle, Sem, Eval): past offerings with evaluations.
+_TAUGHT = [
+    ("susan", "databases", "f88", 4.5),
+    ("susan", "databases", "s89", 4.2),
+    ("tom", "databases", "f89", 3.9),
+    ("tom", "algorithms", "f88", 4.0),
+    ("uma", "calculus", "f88", 4.8),
+    ("victor", "mechanics", "s89", 3.5),
+]
+
+#: complete(Sname, Ctitle, Sem, Grade): transcripts.
+_COMPLETE = [
+    ("ann", "databases", "f88", 3.6),       # from susan, > 3.3: rule-1 witness
+    ("ann", "datastructures", "f88", 3.8),
+    ("bob", "databases", "f89", 4.0),       # grade 4.0: rule-2 witness
+    ("bob", "datastructures", "f88", 3.4),
+    ("carol", "databases", "s89", 3.5),     # from susan, > 3.3: rule-1 witness
+    ("carol", "algorithms", "f88", 4.0),
+    ("dave", "databases", "f89", 3.9),      # high grade but dave is no honor student
+    ("eve", "calculus", "f88", 4.0),        # 4.0 but eve is no honor student
+    ("frank", "calculus", "f88", 4.0),      # honor student, 4.0: rule-2 witness
+    ("grace", "databases", "f89", 3.2),     # honor student but grade too low
+    ("grace", "datastructures", "f88", 4.0),
+]
+
+
+def university_rules() -> list:
+    """The paper's IDB rules, parsed."""
+    return [parse_rule(text) for text in UNIVERSITY_RULES]
+
+
+def university_kb(name: str = "university") -> KnowledgeBase:
+    """The paper's university database with a deterministic fact base."""
+    kb = KnowledgeBase(name)
+    kb.declare_edb("student", 3, ["sname", "major", "gpa"])
+    kb.declare_edb("professor", 3, ["pname", "dept", "phone"])
+    kb.declare_edb("course", 2, ["ctitle", "units"])
+    kb.declare_edb("enroll", 2, ["sname", "ctitle"])
+    kb.declare_edb("teach", 2, ["pname", "ctitle"])
+    kb.declare_edb("prereq", 2, ["ctitle", "ptitle"])
+    kb.declare_edb("taught", 4, ["pname", "ctitle", "sem", "eval"])
+    kb.declare_edb("complete", 4, ["sname", "ctitle", "sem", "grade"])
+
+    kb.add_facts("student", _STUDENTS)
+    kb.add_facts("professor", _PROFESSORS)
+    kb.add_facts("course", _COURSES)
+    kb.add_facts("enroll", _ENROLL)
+    kb.add_facts("teach", _TEACH)
+    kb.add_facts("prereq", _PREREQ)
+    kb.add_facts("taught", _TAUGHT)
+    kb.add_facts("complete", _COMPLETE)
+
+    kb.add_rules(university_rules())
+    return kb

@@ -1,0 +1,46 @@
+"""Deductive engine: data-query (retrieve) evaluation.
+
+Two interchangeable engines — semi-naive bottom-up and top-down with
+call-pattern tabling — behind one public API (:func:`retrieve`,
+:func:`evaluate_conjunction`)."""
+
+from repro.engine.evaluate import (
+    ENGINES,
+    RetrieveResult,
+    derivable,
+    evaluate_conjunction,
+    retrieve,
+)
+from repro.engine.incremental import MaterializedDatabase
+from repro.engine.magic import MagicProgram, magic_conjunction, magic_rewrite
+from repro.engine.provenance import (
+    Explanation,
+    ProofNode,
+    explain,
+    explain_all,
+    explain_statement,
+)
+from repro.engine.safety import check_rule_safety, safety_problems
+from repro.engine.seminaive import SemiNaiveEngine
+from repro.engine.topdown import TopDownEngine
+
+__all__ = [
+    "ENGINES",
+    "RetrieveResult",
+    "derivable",
+    "evaluate_conjunction",
+    "retrieve",
+    "MaterializedDatabase",
+    "MagicProgram",
+    "magic_conjunction",
+    "magic_rewrite",
+    "Explanation",
+    "ProofNode",
+    "explain",
+    "explain_all",
+    "explain_statement",
+    "check_rule_safety",
+    "safety_problems",
+    "SemiNaiveEngine",
+    "TopDownEngine",
+]

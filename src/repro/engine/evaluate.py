@@ -1,0 +1,230 @@
+"""Public evaluation API: ``retrieve`` data queries and conjunction solving.
+
+``retrieve p where psi`` (paper, section 3.1) finds the database values
+whose substitution for the variables of ``p`` and ``psi`` satisfies
+``p and psi``, returning the values of the free variables (those of ``p``).
+When ``p`` uses a predicate unknown to the database, it is an ad-hoc
+predicate defined by ``psi`` (the paper's Example 2 ``answer`` predicate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.errors import EngineError, SafetyError
+from repro.catalog.database import KnowledgeBase
+from repro.catalog.relation import Row
+from repro.engine.joins import bind_row, join_conjunction, relation_cost_estimator
+from repro.engine.seminaive import SemiNaiveEngine
+from repro.engine.topdown import TopDownEngine
+from repro.logic.atoms import Atom, atoms_variables
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Variable, is_constant, is_variable
+
+#: Engine selector values accepted by the public API.
+ENGINES = ("seminaive", "topdown", "magic")
+
+
+@dataclass
+class RetrieveResult:
+    """The answer to a data query.
+
+    ``variables`` are the distinct free variables of the subject, in first
+    occurrence order; ``rows`` are their bindings (constant tuples).  For a
+    variable-free subject the result is Boolean: ``rows`` holds one empty
+    tuple when the subject is derivable.
+    """
+
+    subject: Atom
+    variables: tuple[Variable, ...]
+    rows: list[tuple[Constant, ...]] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[tuple[Constant, ...]]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    @property
+    def boolean(self) -> bool:
+        """Yes/no reading (meaningful for variable-free subjects)."""
+        return bool(self.rows)
+
+    def to_set(self) -> set[tuple[Constant, ...]]:
+        """The answer as a set of binding tuples."""
+        return set(self.rows)
+
+    def values(self) -> list[object]:
+        """Python values, flattened when the subject has one variable."""
+        if len(self.variables) == 1:
+            return [row[0].value for row in self.rows]
+        return [tuple(c.value for c in row) for row in self.rows]
+
+    def __str__(self) -> str:
+        if not self.variables:
+            return "yes" if self.rows else "no"
+        names = ", ".join(v.name for v in self.variables)
+        return f"{{{names}: {len(self.rows)} rows}}"
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in ENGINES:
+        raise EngineError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+
+
+def evaluate_conjunction(
+    kb: KnowledgeBase,
+    conjuncts: Sequence[Atom],
+    engine: str = "seminaive",
+    max_derived_facts: int | None = None,
+    negated: Sequence[Atom] = (),
+) -> Iterator[Substitution]:
+    """Enumerate substitutions satisfying a conjunction over the database.
+
+    ``negated`` conjuncts filter solutions by absence (closed world); their
+    variables must be bound by the positive conjuncts.
+    """
+    _check_engine(engine)
+    if engine == "magic":
+        from repro.engine.magic import magic_conjunction
+
+        if negated:
+            raise EngineError(
+                "the magic engine covers positive queries; use seminaive or "
+                "topdown for negated qualifiers"
+            )
+        yield from magic_conjunction(kb, conjuncts, max_derived_facts=max_derived_facts)
+        return
+    if engine == "topdown":
+        evaluator = TopDownEngine(kb, max_table_rows=max_derived_facts)
+
+        def absent_topdown(theta: Substitution) -> bool:
+            for atom in negated:
+                instantiated = theta.apply(atom)
+                if not instantiated.is_ground():
+                    raise SafetyError(
+                        f"negated conjunct {instantiated} is not ground; bind its "
+                        "variables with positive conjuncts"
+                    )
+                if next(iter(evaluator.query((instantiated,))), None) is not None:
+                    return False
+            return True
+
+        for theta in evaluator.query(conjuncts):
+            if not negated or absent_topdown(theta):
+                yield theta
+        return
+
+    positive_predicates = {
+        a.predicate for a in conjuncts if not a.is_comparison() and kb.is_idb(a.predicate)
+    }
+    negated_predicates = {a.predicate for a in negated if kb.is_idb(a.predicate)}
+    bottom_up = SemiNaiveEngine(kb, max_derived_facts=max_derived_facts)
+    derived = bottom_up.evaluate(sorted(positive_predicates | negated_predicates))
+
+    def relation_view(predicate: str):
+        if kb.is_edb(predicate):
+            return kb.relation(predicate)
+        return derived.get(predicate)
+
+    def resolver(atom: Atom, theta: Substitution) -> Iterator[Substitution]:
+        relation = relation_view(atom.predicate)
+        if relation is None:
+            return
+        pattern = [arg if is_constant(arg) else None for arg in atom.args]
+        for row in relation.lookup(pattern):
+            extended = bind_row(atom, row, theta)
+            if extended is not None:
+                yield extended
+
+    def absent(theta: Substitution) -> bool:
+        for atom in negated:
+            instantiated = theta.apply(atom)
+            if not instantiated.is_ground():
+                raise SafetyError(
+                    f"negated conjunct {instantiated} is not ground; bind its "
+                    "variables with positive conjuncts"
+                )
+            if next(resolver(instantiated, theta), None) is not None:
+                return False
+        return True
+
+    estimate = relation_cost_estimator(relation_view)
+    for theta in join_conjunction(resolver, conjuncts, estimate=estimate):
+        if not negated or absent(theta):
+            yield theta
+
+
+def retrieve(
+    kb: KnowledgeBase,
+    subject: Atom,
+    qualifier: Sequence[Atom] = (),
+    engine: str = "seminaive",
+    max_derived_facts: int | None = None,
+    negated_qualifier: Sequence[Atom] = (),
+) -> RetrieveResult:
+    """Evaluate a data query ``retrieve subject where qualifier``.
+
+    The free variables are those of the subject; all other variables are
+    existential.  A subject with an unknown predicate is defined by the
+    qualifier, so its variables must all occur in the qualifier.
+    ``negated_qualifier`` conjuncts filter by absence ("foreign students who
+    are not married"); their variables must be bound by the subject or the
+    positive qualifier.
+    """
+    _check_engine(engine)
+    if subject.is_comparison():
+        raise EngineError("the subject of retrieve may not be a comparison")
+
+    free_vars: list[Variable] = []
+    for arg in subject.args:
+        if is_variable(arg) and arg not in free_vars:
+            free_vars.append(arg)
+
+    if kb.has_predicate(subject.predicate):
+        kb.schema(subject.predicate).check_arity(subject.arity)
+        conjunction: tuple[Atom, ...] = (subject, *qualifier)
+    else:
+        # Ad-hoc subject: defined through the qualifier (paper, Example 2).
+        qualifier_vars = atoms_variables(qualifier)
+        missing = [v for v in free_vars if v not in qualifier_vars]
+        if missing:
+            names = ", ".join(v.name for v in missing)
+            raise SafetyError(
+                f"ad-hoc subject variable(s) {names} do not occur in the qualifier"
+            )
+        conjunction = tuple(qualifier)
+
+    seen: set[tuple[Constant, ...]] = set()
+    rows: list[tuple[Constant, ...]] = []
+    for theta in evaluate_conjunction(
+        kb,
+        conjunction,
+        engine=engine,
+        max_derived_facts=max_derived_facts,
+        negated=tuple(negated_qualifier),
+    ):
+        values = []
+        for variable in free_vars:
+            term = theta.apply_term(variable)
+            if not is_constant(term):
+                raise SafetyError(
+                    f"free variable {variable} is not bound by the query"
+                )
+            values.append(term)
+        row = tuple(values)
+        if row not in seen:
+            seen.add(row)
+            rows.append(row)
+    return RetrieveResult(subject=subject, variables=tuple(free_vars), rows=rows)
+
+
+def derivable(kb: KnowledgeBase, atom: Atom, engine: str = "seminaive") -> bool:
+    """Whether some instance of *atom* is derivable from the database."""
+    for _ in evaluate_conjunction(kb, (atom,), engine=engine):
+        return True
+    return False

@@ -1,0 +1,92 @@
+"""Safety (range restriction) analysis for rules and queries.
+
+A rule is *safe* when every head variable, and every variable of an order
+comparison, is bound by a positive (non-comparison) body atom or pinned
+through a chain of ``=`` conjuncts anchored at a constant.  Unsafe rules
+would derive infinite relations, so the engines reject them up front.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import SafetyError
+from repro.logic.atoms import Atom
+from repro.logic.clauses import Rule
+from repro.logic.terms import Variable, is_constant, is_variable
+
+
+def bound_variables(body: Sequence[Atom]) -> frozenset[Variable]:
+    """Variables bound by the body: positive atoms plus ``=`` propagation."""
+    bound: set[Variable] = set()
+    for atom in body:
+        if not atom.is_comparison():
+            bound.update(atom.variables())
+    # Propagate through equality conjuncts to a fixpoint.
+    equalities = [a for a in body if a.predicate == "="]
+    changed = True
+    while changed:
+        changed = False
+        for atom in equalities:
+            left, right = atom.args
+            left_bound = is_constant(left) or left in bound
+            right_bound = is_constant(right) or right in bound
+            if left_bound and is_variable(right) and right not in bound:
+                bound.add(right)  # type: ignore[arg-type]
+                changed = True
+            if right_bound and is_variable(left) and left not in bound:
+                bound.add(left)  # type: ignore[arg-type]
+                changed = True
+    return frozenset(bound)
+
+
+def safety_problems(rule: Rule) -> list[str]:
+    """Human-readable safety violations of a rule (empty when safe)."""
+    problems: list[str] = []
+    bound = bound_variables(rule.body)
+    for variable in sorted(rule.head_variables(), key=lambda v: v.name):
+        if variable not in bound:
+            problems.append(f"head variable {variable} is not bound by the body")
+    for atom in rule.body:
+        if atom.is_comparison() and atom.predicate != "=":
+            for variable in atom.variables():
+                if variable not in bound:
+                    problems.append(
+                        f"comparison {atom} uses unbound variable {variable}"
+                    )
+    for atom in rule.negated:
+        for variable in atom.variables():
+            if variable not in bound:
+                problems.append(
+                    f"negated atom {atom} uses unbound variable {variable}"
+                )
+    return problems
+
+
+def check_rule_safety(rule: Rule) -> None:
+    """Raise :class:`SafetyError` when the rule is unsafe."""
+    problems = safety_problems(rule)
+    if problems:
+        raise SafetyError(f"unsafe rule {rule}: " + "; ".join(problems))
+
+
+def check_query_safety(subject: Atom, qualifier: Sequence[Atom]) -> None:
+    """Raise :class:`SafetyError` when a retrieve query is unsafe.
+
+    The query behaves like the rule ``subject <- subject' and qualifier``
+    where ``subject'`` is present only when the subject predicate is known;
+    callers that treat the subject as ad hoc (defined by the qualifier)
+    should pass the qualifier alone via a synthetic rule.
+    """
+    body = list(qualifier)
+    bound = bound_variables(body) | set().union(
+        *(a.variable_set() for a in [subject]),
+    )
+    for atom in body:
+        if atom.is_comparison() and atom.predicate != "=":
+            for variable in atom.variables():
+                if variable not in bound:
+                    raise SafetyError(
+                        f"comparison {atom} uses variable {variable} "
+                        "bound by neither subject nor qualifier"
+                    )

@@ -1,0 +1,205 @@
+"""Semi-naive bottom-up evaluation of the IDB.
+
+The classic deductive-database fixpoint: predicates are evaluated stratum by
+stratum (strongly connected components of the dependency graph in
+topological order); within a recursive stratum, each iteration joins every
+rule against the *delta* (facts new in the previous iteration) in one body
+position at a time, so no derivation is recomputed.
+
+Evaluation is *relevance-restricted*: only predicates the query (transitively)
+depends on are materialised.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.errors import EvaluationLimitError, SafetyError
+from repro.catalog.database import KnowledgeBase
+from repro.catalog.relation import Relation, Row
+from repro.engine.joins import bind_row, join_conjunction, relation_cost_estimator
+from repro.engine.safety import check_rule_safety
+from repro.logic.atoms import Atom
+from repro.logic.clauses import Rule
+from repro.logic.substitution import Substitution
+from repro.logic.terms import is_constant
+
+#: Marker prefix distinguishing a delta occurrence inside a rewritten body.
+_DELTA_PREFIX = "\x7fdelta\x7f:"
+
+
+class SemiNaiveEngine:
+    """Bottom-up evaluator producing materialised IDB relations.
+
+    Parameters
+    ----------
+    kb:
+        The knowledge base to evaluate.
+    max_derived_facts:
+        Optional budget; exceeding it raises
+        :class:`~repro.errors.EvaluationLimitError`.
+    """
+
+    def __init__(self, kb: KnowledgeBase, max_derived_facts: int | None = None) -> None:
+        self._kb = kb
+        self._max_derived = max_derived_facts
+        self._derived: dict[str, Relation] = {}
+        self._delta: dict[str, Relation] = {}
+        self._evaluated: set[str] = set()
+
+    # -- public API ---------------------------------------------------------------
+
+    def evaluate(self, predicates: Sequence[str] | None = None) -> dict[str, Relation]:
+        """Materialise the requested IDB predicates (all, when ``None``).
+
+        Returns a mapping from predicate name to its derived relation.
+        Repeated calls reuse earlier materialisations.
+        """
+        kb = self._kb
+        if predicates is None:
+            wanted = set(kb.idb_predicates())
+        else:
+            wanted = {p for p in predicates if kb.is_idb(p)}
+        graph = kb.dependency_graph()
+        relevant = set(wanted)
+        for predicate in wanted:
+            relevant.update(p for p in graph.dependencies(predicate) if kb.is_idb(p))
+        todo = relevant - self._evaluated
+        if todo:
+            for stratum in graph.evaluation_strata(set(kb.idb_predicates())):
+                members = [p for p in stratum if p in todo]
+                if members:
+                    self._evaluate_stratum(set(stratum) & relevant)
+                    self._evaluated.update(set(stratum) & relevant)
+        return {p: self._relation(p) for p in wanted}
+
+    def derived_relation(self, predicate: str) -> Relation:
+        """The materialised relation for one IDB predicate (evaluating it)."""
+        self.evaluate([predicate])
+        return self._relation(predicate)
+
+    def fact_count(self) -> int:
+        """Total number of derived facts materialised so far."""
+        return sum(len(r) for r in self._derived.values())
+
+    # -- internals -------------------------------------------------------------------
+
+    def _relation(self, predicate: str) -> Relation:
+        if predicate not in self._derived:
+            arity = self._kb.schema(predicate).arity if self._kb.has_predicate(predicate) else 0
+            self._derived[predicate] = Relation(arity)
+        return self._derived[predicate]
+
+    def _relation_view(self, predicate: str) -> Relation | None:
+        """The relation an atom of *predicate* currently reads (or ``None``)."""
+        if predicate.startswith(_DELTA_PREFIX):
+            return self._delta.get(predicate[len(_DELTA_PREFIX):])
+        if self._kb.is_edb(predicate):
+            return self._kb.relation(predicate)
+        if self._kb.is_idb(predicate):
+            return self._relation(predicate)
+        return None
+
+    def _resolver(self, atom: Atom, theta: Substitution) -> Iterator[Substitution]:
+        """Resolve a positive atom against EDB, derived, or delta relations."""
+        relation = self._relation_view(atom.predicate)
+        if relation is None:
+            return  # undefined predicate: empty extension
+        pattern = [arg if is_constant(arg) else None for arg in atom.args]
+        for row in relation.lookup(pattern):
+            extended = bind_row(atom, row, theta)
+            if extended is not None:
+                yield extended
+
+    def _head_row(self, rule: Rule, theta: Substitution) -> Row:
+        head = theta.apply(rule.head)
+        if not head.is_ground():
+            raise SafetyError(f"derived head is not ground: {head} (rule {rule})")
+        return tuple(head.args)  # type: ignore[return-value]
+
+    def _negatives_absent(self, rule: Rule, theta: Substitution) -> bool:
+        """Whether every negated body atom has no matching stored/derived row.
+
+        Stratification guarantees the negated predicates' relations are
+        complete by the time the rule fires (their strata come first).
+        """
+        for atom in rule.negated:
+            instantiated = theta.apply(atom)
+            if not instantiated.is_ground():
+                raise SafetyError(
+                    f"negated atom {instantiated} is not ground at evaluation time"
+                )
+            predicate = instantiated.predicate
+            if self._kb.is_edb(predicate):
+                relation = self._kb.relation(predicate)
+            elif self._kb.is_idb(predicate):
+                relation = self._relation(predicate)
+            else:
+                continue  # undefined predicate: trivially absent
+            if next(relation.lookup(list(instantiated.args)), None) is not None:
+                return False
+        return True
+
+    def _fire_rule(self, rule: Rule) -> Iterator[Row]:
+        """All head rows derivable from one rule under current relations.
+
+        The join order is cardinality-aware: current relation sizes and
+        per-column distinct counts drive the greedy ordering.
+        """
+        estimate = relation_cost_estimator(self._relation_view)
+        for theta in join_conjunction(self._resolver, rule.body, estimate=estimate):
+            if rule.negated and not self._negatives_absent(rule, theta):
+                continue
+            yield self._head_row(rule, theta)
+
+    def _check_budget(self) -> None:
+        if self._max_derived is not None and self.fact_count() > self._max_derived:
+            raise EvaluationLimitError(
+                f"derived-fact budget of {self._max_derived} exceeded"
+            )
+
+    def _evaluate_stratum(self, stratum: set[str]) -> None:
+        kb = self._kb
+        rules = [r for p in sorted(stratum) for r in kb.rules_for(p)]
+        for rule in rules:
+            check_rule_safety(rule)
+
+        # Initial round: full evaluation (recursive atoms see empty relations).
+        # Rows are materialised before insertion: a rule like a permutation
+        # rule reads the very relation its head writes.
+        delta_rows: dict[str, set[Row]] = {p: set() for p in stratum}
+        for rule in rules:
+            relation = self._relation(rule.head.predicate)
+            for row in list(self._fire_rule(rule)):
+                if relation.insert(row):
+                    delta_rows[rule.head.predicate].add(row)
+        self._check_budget()
+
+        recursive_rules = [
+            (rule, [i for i, b in enumerate(rule.body) if b.predicate in stratum])
+            for rule in rules
+        ]
+        recursive_rules = [(r, occs) for r, occs in recursive_rules if occs]
+        if not recursive_rules:
+            return
+
+        while any(delta_rows.values()):
+            self._delta = {
+                p: Relation(self._relation(p).arity, rows) for p, rows in delta_rows.items()
+            }
+            new_rows: dict[str, set[Row]] = {p: set() for p in stratum}
+            for rule, occurrences in recursive_rules:
+                relation = self._relation(rule.head.predicate)
+                for index in occurrences:
+                    body = list(rule.body)
+                    original = body[index]
+                    body[index] = Atom(_DELTA_PREFIX + original.predicate, original.args)
+                    rewritten = rule.with_body(body)
+                    for row in self._fire_rule(rewritten):
+                        if row not in relation:
+                            new_rows[rule.head.predicate].add(row)
+            for predicate, rows in new_rows.items():
+                self._relation(predicate).insert_many(rows)
+            delta_rows = new_rows
+            self._delta = {}
+            self._check_budget()

@@ -1,0 +1,112 @@
+"""Exception hierarchy for the repro deductive database.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one type.  Sub-hierarchies mirror the subsystems:
+logic kernel, catalog, language, engine, and the knowledge-query core.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class LogicError(ReproError):
+    """Errors raised by the logic kernel (terms, clauses, unification)."""
+
+
+class UnificationError(LogicError):
+    """Two expressions could not be unified (raised by strict APIs only)."""
+
+
+class TypingError(LogicError):
+    """A rule violates the typing discipline required of recursive rules."""
+
+
+class CatalogError(ReproError):
+    """Errors raised by the catalog (schemas, relations, knowledge base)."""
+
+
+class SchemaError(CatalogError):
+    """A predicate was declared or used inconsistently with its schema."""
+
+
+class ArityError(SchemaError):
+    """An atom's argument count disagrees with its predicate's arity."""
+
+
+class DuplicatePredicateError(CatalogError):
+    """A predicate name was declared in more than one of EDB/IDB/built-ins."""
+
+
+class UnknownPredicateError(CatalogError):
+    """A query or rule referenced a predicate the database does not know."""
+
+
+class IntegrityError(CatalogError):
+    """A stored fact violates a declared integrity constraint."""
+
+
+class LanguageError(ReproError):
+    """Errors raised by the lexer/parser for the query language."""
+
+
+class LexError(LanguageError):
+    """The input text contains a character sequence that is not a token."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(LanguageError):
+    """The token stream does not form a valid statement."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class EngineError(ReproError):
+    """Errors raised while evaluating data (retrieve) queries."""
+
+
+class SafetyError(EngineError):
+    """A rule or query is unsafe (unbound head or comparison variables)."""
+
+
+class EvaluationLimitError(EngineError):
+    """Evaluation exceeded a caller-imposed step or size budget."""
+
+
+class CoreError(ReproError):
+    """Errors raised by the knowledge-query (describe) core."""
+
+
+class NonRecursiveSubjectRequired(CoreError):
+    """Algorithm 1 was invoked on a subject that depends on recursion."""
+
+
+class TransformError(CoreError):
+    """The Imielinski transformation could not be applied to a rule set."""
+
+
+class SearchBudgetExceeded(CoreError):
+    """The derivation-tree search exceeded its step budget.
+
+    Algorithm 1 on recursive subjects is expected to trip this; the error is
+    how the library demonstrates the paper's Examples 6-8 divergence.
+    """
+
+    def __init__(
+        self,
+        steps: int,
+        answers_so_far: list | None = None,
+        reason: str | None = None,
+    ) -> None:
+        super().__init__(reason or f"derivation search exceeded {steps} steps")
+        self.steps = steps
+        self.answers_so_far = answers_so_far or []

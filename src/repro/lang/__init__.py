@@ -1,0 +1,39 @@
+"""Query and definition language: lexer, parser, AST, pretty printing."""
+
+from repro.lang.ast import (
+    CompareStatement,
+    ConstraintStatement,
+    DescribeStatement,
+    Program,
+    RetrieveStatement,
+    RuleStatement,
+    Statement,
+)
+from repro.lang.lexer import tokenize
+from repro.lang.parser import (
+    parse_atom,
+    parse_body,
+    parse_program,
+    parse_rule,
+    parse_statement,
+)
+from repro.lang.pretty import format_bindings, format_rule, format_rules
+
+__all__ = [
+    "CompareStatement",
+    "ConstraintStatement",
+    "DescribeStatement",
+    "Program",
+    "RetrieveStatement",
+    "RuleStatement",
+    "Statement",
+    "tokenize",
+    "parse_atom",
+    "parse_body",
+    "parse_program",
+    "parse_rule",
+    "parse_statement",
+    "format_bindings",
+    "format_rule",
+    "format_rules",
+]

@@ -1,0 +1,153 @@
+"""Abstract syntax for the query and definition language.
+
+Statements:
+
+* :class:`RuleStatement` — ``head <- body.`` (a fact when the body is empty);
+* :class:`ConstraintStatement` — ``not (body).``;
+* :class:`RetrieveStatement` — the data query of section 3.1;
+* :class:`DescribeStatement` — the knowledge query of section 3.2, including
+  the section 6 extensions (``necessary`` qualifier, negated hypothesis
+  conjuncts, subjectless form, wildcard subject);
+* :class:`CompareStatement` — the section 6 concept comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.logic.atoms import Atom
+from repro.logic.clauses import IntegrityConstraint, Rule
+from repro.logic.formulas import format_conjunction
+
+
+@dataclass(frozen=True)
+class RuleStatement:
+    """A rule or fact definition."""
+
+    rule: Rule
+
+    def __str__(self) -> str:
+        return str(self.rule)
+
+
+@dataclass(frozen=True)
+class ConstraintStatement:
+    """An integrity constraint definition."""
+
+    constraint: IntegrityConstraint
+
+    def __str__(self) -> str:
+        return str(self.constraint)
+
+
+@dataclass(frozen=True)
+class RetrieveStatement:
+    """``retrieve p where psi`` — evaluate a data query.
+
+    ``subject`` may use a predicate unknown to the database, in which case it
+    is an ad-hoc predicate defined by the qualifier (paper, section 3.1).
+    ``negated_qualifier`` holds ``not atom`` conjuncts (the stratified
+    extension: "foreign students who are NOT married").
+    """
+
+    subject: Atom
+    qualifier: tuple[Atom, ...] = ()
+    negated_qualifier: tuple[Atom, ...] = ()
+
+    def __str__(self) -> str:
+        parts = [str(a) for a in self.qualifier]
+        parts.extend(f"not {a}" for a in self.negated_qualifier)
+        if not parts:
+            return f"retrieve {self.subject}"
+        return f"retrieve {self.subject} where {' and '.join(parts)}"
+
+
+@dataclass(frozen=True)
+class DescribeStatement:
+    """``describe p where psi`` — evaluate a knowledge query.
+
+    ``subject`` is ``None`` for the subjectless (possibility) form and the
+    string ``"*"`` sentinel is expressed with ``wildcard=True``.
+    ``negated_qualifier`` carries ``not atom`` conjuncts (necessity tests);
+    ``necessary`` marks the ``where necessary`` variant.
+    """
+
+    subject: Atom | None
+    qualifier: tuple[Atom, ...] = ()
+    negated_qualifier: tuple[Atom, ...] = ()
+    necessary: bool = False
+    wildcard: bool = False
+    #: Further disjuncts of the qualifier: ``where c1 and c2 or c3`` puts
+    #: ``(c1, c2)`` in ``qualifier`` and ``(c3,)`` here (section 6 extension).
+    alternatives: tuple[tuple[Atom, ...], ...] = ()
+
+    def __str__(self) -> str:
+        if self.wildcard:
+            head = "describe *"
+        elif self.subject is None:
+            head = "describe"
+        else:
+            head = f"describe {self.subject}"
+        parts = [str(a) for a in self.qualifier]
+        parts.extend(f"not {a}" for a in self.negated_qualifier)
+        if not parts:
+            return head
+        keyword = "where necessary" if self.necessary else "where"
+        text = f"{head} {keyword} {' and '.join(parts)}"
+        for disjunct in self.alternatives:
+            text += " or " + " and ".join(str(a) for a in disjunct)
+        return text
+
+
+@dataclass(frozen=True)
+class ExplainStatement:
+    """``explain p [where psi]`` — proof trees for a data query's answers.
+
+    With a ground subject, one derivation is produced (or "not derivable");
+    otherwise each answer row of the corresponding retrieve is explained.
+    """
+
+    subject: Atom
+    qualifier: tuple[Atom, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.qualifier:
+            return f"explain {self.subject}"
+        return f"explain {self.subject} where {format_conjunction(self.qualifier)}"
+
+
+@dataclass(frozen=True)
+class CompareStatement:
+    """``compare (describe ...) with (describe ...)``."""
+
+    left: DescribeStatement
+    right: DescribeStatement
+
+    def __str__(self) -> str:
+        return f"compare ({self.left}) with ({self.right})"
+
+
+#: Any parsed statement.
+Statement = (
+    RuleStatement
+    | ConstraintStatement
+    | RetrieveStatement
+    | DescribeStatement
+    | ExplainStatement
+    | CompareStatement
+)
+
+
+@dataclass
+class Program:
+    """A sequence of parsed statements (e.g. a loaded definition file)."""
+
+    statements: list[Statement] = field(default_factory=list)
+
+    def rules(self) -> list[Rule]:
+        """The rules/facts defined by the program."""
+        return [s.rule for s in self.statements if isinstance(s, RuleStatement)]
+
+    def constraints(self) -> list[IntegrityConstraint]:
+        """The integrity constraints defined by the program."""
+        return [s.constraint for s in self.statements if isinstance(s, ConstraintStatement)]

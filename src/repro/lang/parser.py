@@ -1,0 +1,333 @@
+"""Recursive-descent parser for the query and definition language.
+
+Grammar (EBNF, ``{}`` repetition, ``[]`` option)::
+
+    program     ::= { definition }
+    definition  ::= rule | constraint
+    rule        ::= atom [ "<-" body ] "."
+    constraint  ::= "not" "(" body ")" "."
+    body        ::= conjunct { ("and" | ",") conjunct }
+    conjunct    ::= atom | comparison
+    statement   ::= retrieve | describe | compare | definition
+    retrieve    ::= "retrieve" atom [ "where" body ]
+    describe    ::= "describe" [ atom | "*" ]
+                    [ "where" [ "necessary" ] dconjuncts ]
+    dconjuncts  ::= dconjunct { ("and" | ",") dconjunct }
+    dconjunct   ::= [ "not" ] conjunct
+    compare     ::= "compare" "(" describe ")" "with" "(" describe ")"
+    atom        ::= ident [ "(" term { "," term } ")" ]
+    comparison  ::= [ "(" ] term cmp_op term [ ")" ]
+    term        ::= VARIABLE | IDENT | NUMBER | STRING | "true"
+
+Comparisons may be parenthesised, matching the paper's typography
+(``(U > 3 3)``).  A trailing period is required on definitions and optional
+on queries.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang.ast import (
+    CompareStatement,
+    ConstraintStatement,
+    DescribeStatement,
+    ExplainStatement,
+    Program,
+    RetrieveStatement,
+    RuleStatement,
+    Statement,
+)
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import Token, TokenType
+from repro.logic.atoms import Atom
+from repro.logic.clauses import IntegrityConstraint, Rule
+from repro.logic.terms import Constant, Term, Variable
+
+
+class Parser:
+    """Parses one statement or a whole program from source text."""
+
+    def __init__(self, source: str) -> None:
+        self._tokens = tokenize(source)
+        self._pos = 0
+
+    # -- token stream helpers -----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, type_: TokenType, text: str | None = None) -> bool:
+        token = self._peek()
+        return token.type is type_ and (text is None or token.text == text)
+
+    def _accept(self, type_: TokenType, text: str | None = None) -> Token | None:
+        if self._check(type_, text):
+            return self._advance()
+        return None
+
+    def _expect(self, type_: TokenType, text: str | None = None) -> Token:
+        token = self._peek()
+        if not self._check(type_, text):
+            wanted = text or type_.value
+            raise ParseError(
+                f"expected {wanted!r}, found {token.text or token.type.value!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        return ParseError(message, token.line, token.column)
+
+    # -- entry points ----------------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        """Parse exactly one statement; the whole input must be consumed."""
+        statement = self._statement()
+        self._accept(TokenType.PERIOD)
+        if not self._check(TokenType.EOF):
+            raise self._error("unexpected input after statement")
+        return statement
+
+    def parse_program(self) -> Program:
+        """Parse a sequence of definitions and queries."""
+        program = Program()
+        while not self._check(TokenType.EOF):
+            program.statements.append(self._statement())
+            self._accept(TokenType.PERIOD)
+        return program
+
+    # -- statements ---------------------------------------------------------------------
+
+    def _statement(self) -> Statement:
+        if self._check(TokenType.KEYWORD, "retrieve"):
+            return self._retrieve()
+        if self._check(TokenType.KEYWORD, "describe"):
+            return self._describe()
+        if self._check(TokenType.KEYWORD, "explain"):
+            return self._explain()
+        if self._check(TokenType.KEYWORD, "compare"):
+            return self._compare()
+        if self._check(TokenType.KEYWORD, "not"):
+            return self._constraint()
+        return self._rule()
+
+    def _explain(self) -> ExplainStatement:
+        self._expect(TokenType.KEYWORD, "explain")
+        subject = self._atom()
+        if subject.is_comparison():
+            raise self._error("the subject of explain may not be a comparison")
+        qualifier: tuple[Atom, ...] = ()
+        if self._accept(TokenType.KEYWORD, "where"):
+            qualifier = self._body()
+        return ExplainStatement(subject, qualifier)
+
+    def _rule(self) -> RuleStatement:
+        head = self._atom()
+        if head.is_comparison():
+            raise self._error("a rule head may not be a comparison")
+        body: tuple[Atom, ...] = ()
+        negated: tuple[Atom, ...] = ()
+        if self._accept(TokenType.ARROW):
+            body, negated = self._signed_body()
+        return RuleStatement(Rule(head, body, negated))
+
+    def _constraint(self) -> ConstraintStatement:
+        self._expect(TokenType.KEYWORD, "not")
+        self._expect(TokenType.LPAREN)
+        body = self._body()
+        self._expect(TokenType.RPAREN)
+        return ConstraintStatement(IntegrityConstraint(body))
+
+    def _retrieve(self) -> RetrieveStatement:
+        self._expect(TokenType.KEYWORD, "retrieve")
+        subject = self._atom()
+        if subject.is_comparison():
+            raise self._error("the subject of retrieve may not be a comparison")
+        qualifier: tuple[Atom, ...] = ()
+        negated: tuple[Atom, ...] = ()
+        if self._accept(TokenType.KEYWORD, "where"):
+            qualifier, negated = self._signed_body()
+        return RetrieveStatement(subject, qualifier, negated)
+
+    def _describe(self) -> DescribeStatement:
+        self._expect(TokenType.KEYWORD, "describe")
+        subject: Atom | None = None
+        wildcard = False
+        if self._accept(TokenType.STAR):
+            wildcard = True
+        elif not (
+            self._check(TokenType.KEYWORD, "where")
+            or self._check(TokenType.PERIOD)
+            or self._check(TokenType.EOF)
+            or self._check(TokenType.RPAREN)
+        ):
+            subject = self._atom()
+            if subject.is_comparison():
+                raise self._error("the subject of describe may not be a comparison")
+        necessary = False
+        qualifier: list[Atom] = []
+        negated: list[Atom] = []
+        alternatives: list[tuple[Atom, ...]] = []
+        if self._accept(TokenType.KEYWORD, "where"):
+            if self._accept(TokenType.KEYWORD, "necessary"):
+                necessary = True
+            while True:
+                if self._accept(TokenType.KEYWORD, "not"):
+                    negated.append(self._conjunct())
+                else:
+                    qualifier.append(self._conjunct())
+                if not (self._accept(TokenType.KEYWORD, "and") or self._accept(TokenType.COMMA)):
+                    break
+            while self._accept(TokenType.KEYWORD, "or"):
+                if negated:
+                    raise self._error("'not' conjuncts cannot be combined with 'or'")
+                alternatives.append(self._body())
+        return DescribeStatement(
+            subject=subject,
+            qualifier=tuple(qualifier),
+            negated_qualifier=tuple(negated),
+            necessary=necessary,
+            wildcard=wildcard,
+            alternatives=tuple(alternatives),
+        )
+
+    def _compare(self) -> CompareStatement:
+        self._expect(TokenType.KEYWORD, "compare")
+        self._expect(TokenType.LPAREN)
+        left = self._describe()
+        self._expect(TokenType.RPAREN)
+        self._expect(TokenType.KEYWORD, "with")
+        self._expect(TokenType.LPAREN)
+        right = self._describe()
+        self._expect(TokenType.RPAREN)
+        return CompareStatement(left, right)
+
+    # -- formulas ------------------------------------------------------------------------
+
+    def _body(self) -> tuple[Atom, ...]:
+        conjuncts = [self._conjunct()]
+        while self._accept(TokenType.KEYWORD, "and") or self._accept(TokenType.COMMA):
+            conjuncts.append(self._conjunct())
+        return tuple(conjuncts)
+
+    def _signed_body(self) -> tuple[tuple[Atom, ...], tuple[Atom, ...]]:
+        """A conjunction whose conjuncts may be prefixed with ``not``."""
+        positive: list[Atom] = []
+        negated: list[Atom] = []
+        while True:
+            if self._accept(TokenType.KEYWORD, "not"):
+                atom = self._conjunct()
+                if atom.is_comparison():
+                    raise self._error(
+                        "negate the comparison operator instead of writing 'not'"
+                    )
+                negated.append(atom)
+            else:
+                positive.append(self._conjunct())
+            if not (self._accept(TokenType.KEYWORD, "and") or self._accept(TokenType.COMMA)):
+                return tuple(positive), tuple(negated)
+
+    def _conjunct(self) -> Atom:
+        # A parenthesised conjunct is a comparison: "(U > 3.3)".
+        if self._check(TokenType.LPAREN):
+            self._expect(TokenType.LPAREN)
+            left = self._term()
+            op = self._expect(TokenType.COMPARE_OP)
+            right = self._term()
+            self._expect(TokenType.RPAREN)
+            return Atom(op.text, [left, right])
+        # Otherwise: either an atom, or a bare comparison "U > 3.3".
+        if self._check(TokenType.IDENT) and self._peek(1).type is TokenType.LPAREN:
+            return self._atom()
+        left = self._term()
+        op_token = self._accept(TokenType.COMPARE_OP)
+        if op_token is not None:
+            right = self._term()
+            return Atom(op_token.text, [left, right])
+        if isinstance(left, Constant) and isinstance(left.value, str):
+            # A bare identifier: a propositional (0-ary) atom.
+            return Atom(left.value, [])
+        raise self._error("expected an atom or a comparison")
+
+    def _atom(self) -> Atom:
+        # Comparison disguised as an atom position: "X > 3" or "(X > 3)".
+        if self._check(TokenType.LPAREN) or self._check(TokenType.VARIABLE):
+            return self._conjunct()
+        name = self._expect(TokenType.IDENT).text
+        if not self._accept(TokenType.LPAREN):
+            return Atom(name, [])
+        args: list[Term] = []
+        if not self._check(TokenType.RPAREN):
+            args.append(self._term())
+            while self._accept(TokenType.COMMA):
+                args.append(self._term())
+        self._expect(TokenType.RPAREN)
+        return Atom(name, args)
+
+    def _term(self) -> Term:
+        token = self._peek()
+        if token.type is TokenType.VARIABLE:
+            self._advance()
+            return Variable(token.text)
+        if token.type is TokenType.IDENT:
+            self._advance()
+            return Constant(token.text)
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            if "." in token.text:
+                return Constant(float(token.text))
+            return Constant(int(token.text))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Constant(token.text)
+        if token.type is TokenType.KEYWORD and token.text == "true":
+            self._advance()
+            return Constant(True)
+        raise self._error(f"expected a term, found {token.text or token.type.value!r}")
+
+
+def parse_statement(source: str) -> Statement:
+    """Parse one statement from *source*."""
+    return Parser(source).parse_statement()
+
+
+def parse_program(source: str) -> Program:
+    """Parse a whole program (definitions and/or queries)."""
+    return Parser(source).parse_program()
+
+
+def parse_rule(source: str) -> Rule:
+    """Parse a single rule or fact."""
+    statement = parse_statement(source)
+    if not isinstance(statement, RuleStatement):
+        raise ParseError("expected a rule definition", 1, 1)
+    return statement.rule
+
+
+def parse_atom(source: str) -> Atom:
+    """Parse a single atom (or comparison)."""
+    parser = Parser(source)
+    atom = parser._conjunct()
+    parser._accept(TokenType.PERIOD)
+    if not parser._check(TokenType.EOF):
+        raise ParseError("unexpected input after atom", 1, 1)
+    return atom
+
+
+def parse_body(source: str) -> tuple[Atom, ...]:
+    """Parse a conjunction of atoms/comparisons."""
+    parser = Parser(source)
+    body = parser._body()
+    parser._accept(TokenType.PERIOD)
+    if not parser._check(TokenType.EOF):
+        raise ParseError("unexpected input after formula", 1, 1)
+    return body

@@ -1,0 +1,73 @@
+"""Pretty-printing of terms, atoms, rules and answers.
+
+The ``__str__`` methods on the logic classes give compact one-line forms;
+this module adds multi-line layouts for rule sets and knowledge answers, and
+English-ish glosses used by the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.logic.atoms import Atom
+from repro.logic.clauses import Rule
+from repro.logic.formulas import format_conjunction
+
+
+def format_rule(rule: Rule, indent: str = "") -> str:
+    """One rule, body conjuncts wrapped when long."""
+    head = str(rule.head)
+    if not rule.body:
+        return f"{indent}{head}."
+    body = " and ".join(str(b) for b in rule.body)
+    single = f"{indent}{head} <- {body}."
+    if len(single) <= 78:
+        return single
+    joiner = f" and\n{indent}    {' ' * len(head)}"
+    wrapped = joiner.join(str(b) for b in rule.body)
+    return f"{indent}{head} <- {wrapped}."
+
+
+def format_rules(rules: Iterable[Rule], indent: str = "") -> str:
+    """A rule set, one rule per line."""
+    return "\n".join(format_rule(r, indent) for r in rules)
+
+
+def format_bindings(
+    variables: Sequence[object], rows: Iterable[Sequence[object]], limit: int | None = None
+) -> str:
+    """A tabular rendering of retrieve results."""
+    header = [str(v) for v in variables]
+    body_rows = []
+    for i, row in enumerate(rows):
+        if limit is not None and i >= limit:
+            body_rows.append(["..."] * max(len(header), 1))
+            break
+        body_rows.append([str(value) for value in row])
+    if not header:
+        return "yes" if body_rows else "no"
+    widths = [len(h) for h in header]
+    for row in body_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in body_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def gloss_rule(rule: Rule) -> str:
+    """A rough English reading of a rule, for example scripts."""
+    if not rule.body:
+        return f"{rule.head} holds unconditionally."
+    return f"{rule.head} holds when {format_conjunction(rule.body)}."
+
+
+def format_conjunction_multiline(formula: Sequence[Atom], indent: str = "    ") -> str:
+    """A conjunction with one conjunct per line."""
+    if not formula:
+        return f"{indent}true"
+    return "\n".join(f"{indent}{atom}" for atom in formula)

@@ -1,0 +1,44 @@
+"""Logic kernel: terms, atoms, clauses, substitution, unification, and the
+comparison-constraint reasoner used throughout the deductive engine and the
+knowledge-query core."""
+
+from repro.logic.atoms import COMPARISON_PREDICATES, Atom, comparison
+from repro.logic.builtins import evaluate_comparison, flip_comparison, negate_comparison
+from repro.logic.clauses import IntegrityConstraint, Rule, fact
+from repro.logic.formulas import Conjunction, conjunction, format_conjunction
+from repro.logic.intervals import contradicts, implies, implies_all, satisfiable
+from repro.logic.lgg import lgg_atoms, lgg_conjunctions
+from repro.logic.rename import VariableRenamer
+from repro.logic.substitution import Substitution, substitution_from_pairs
+from repro.logic.terms import Constant, Term, Variable, is_constant, is_variable, make_term
+from repro.logic.unify import match, unify, variant
+
+__all__ = [
+    "COMPARISON_PREDICATES",
+    "Atom",
+    "comparison",
+    "evaluate_comparison",
+    "flip_comparison",
+    "negate_comparison",
+    "IntegrityConstraint",
+    "Rule",
+    "fact",
+    "Conjunction",
+    "conjunction",
+    "format_conjunction",
+    "contradicts",
+    "implies",
+    "implies_all",
+    "satisfiable",
+    "lgg_atoms",
+    "lgg_conjunctions",
+    "VariableRenamer",
+    "Substitution",
+    "substitution_from_pairs",
+    "Constant",
+    "Term",
+    "Variable",
+    "is_constant",
+    "is_variable",
+    "make_term",
+]

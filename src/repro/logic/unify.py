@@ -1,0 +1,128 @@
+"""Unification and one-way matching for function-free atoms.
+
+Two entry points:
+
+* :func:`unify` — most general unifier of two atoms (or ``None``).  When a
+  variable/variable pair must be bound, the *orientation* is chosen so that
+  "fresh" variables (those introduced by mechanical rule renaming — see
+  :mod:`repro.logic.rename`) are eliminated in favour of user variables.
+  This is what makes describe answers come out phrased in the variables the
+  user wrote in the query, as in every worked example of the paper.
+
+* :func:`match` — one-way matching: find a substitution over the variables of
+  the *pattern* only, such that ``pattern.theta == target``.  Used for fact
+  lookup and subsumption tests, where the target must stay fixed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.logic.atoms import Atom
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Term, Variable, is_variable
+
+
+def _prefer_left(left: Variable, right: Variable) -> bool:
+    """Whether binding should eliminate *left* (map left -> right).
+
+    Fresh (renamed) variables are eliminated first; among equals,
+    the lexicographically larger name is eliminated so results are
+    deterministic.
+    """
+    left_fresh = left.is_fresh()
+    right_fresh = right.is_fresh()
+    if left_fresh != right_fresh:
+        return left_fresh
+    return left.name > right.name
+
+
+def unify_terms(left: Term, right: Term, theta: Substitution) -> Substitution | None:
+    """Extend *theta* to unify two terms, or return ``None``."""
+    left = theta.apply_term(left)
+    right = theta.apply_term(right)
+    if left == right:
+        return theta
+    left_var = is_variable(left)
+    right_var = is_variable(right)
+    if left_var and right_var:
+        if _prefer_left(left, right):  # type: ignore[arg-type]
+            return theta.bind(left, right)  # type: ignore[arg-type]
+        return theta.bind(right, left)  # type: ignore[arg-type]
+    if left_var:
+        return theta.bind(left, right)  # type: ignore[arg-type]
+    if right_var:
+        return theta.bind(right, left)  # type: ignore[arg-type]
+    return None  # two distinct constants
+
+
+def unify(left: Atom, right: Atom, theta: Substitution | None = None) -> Substitution | None:
+    """Most general unifier of two atoms, extending *theta* if given.
+
+    Returns ``None`` when the atoms do not unify (different predicates,
+    different arities, or clashing constants).
+    """
+    if left.predicate != right.predicate or left.arity != right.arity:
+        return None
+    result = theta if theta is not None else Substitution.EMPTY
+    for l_arg, r_arg in zip(left.args, right.args):
+        extended = unify_terms(l_arg, r_arg, result)
+        if extended is None:
+            return None
+        result = extended
+    return result
+
+
+def unify_sequences(
+    left: Sequence[Atom], right: Sequence[Atom], theta: Substitution | None = None
+) -> Substitution | None:
+    """Unify two equal-length atom sequences pointwise."""
+    if len(left) != len(right):
+        return None
+    result = theta if theta is not None else Substitution.EMPTY
+    for l_atom, r_atom in zip(left, right):
+        unified = unify(l_atom, r_atom, result)
+        if unified is None:
+            return None
+        result = unified
+    return result
+
+
+def match_terms(pattern: Term, target: Term, theta: Substitution) -> Substitution | None:
+    """Extend *theta* to match *pattern* onto *target* (one-way)."""
+    pattern = theta.apply_term(pattern)
+    if pattern == target:
+        return theta
+    if is_variable(pattern):
+        return theta.bind(pattern, target)  # type: ignore[arg-type]
+    return None
+
+
+def match(pattern: Atom, target: Atom, theta: Substitution | None = None) -> Substitution | None:
+    """One-way matching: substitution theta with ``pattern.theta == target``.
+
+    Only variables of *pattern* are bound; variables of *target* are treated
+    as constants (they may appear as binding values).  Returns ``None`` when
+    no such substitution exists.
+    """
+    if pattern.predicate != target.predicate or pattern.arity != target.arity:
+        return None
+    result = theta if theta is not None else Substitution.EMPTY
+    for p_arg, t_arg in zip(pattern.args, target.args):
+        extended = match_terms(p_arg, t_arg, result)
+        if extended is None:
+            return None
+        result = extended
+    return result
+
+
+def variant(left: Atom, right: Atom) -> bool:
+    """Whether two atoms are equal up to renaming of variables."""
+    forward = match(left, right)
+    backward = match(right, left)
+    return (
+        forward is not None
+        and backward is not None
+        and forward.is_renaming()
+        and backward.is_renaming()
+    )

@@ -1,0 +1,195 @@
+"""The single coherent instrument: one session, both kinds of queries.
+
+The paper argues that "access to knowledge and data should be provided with
+a single, coherent instrument".  :class:`Session` is that instrument: it
+parses any statement of the language — definitions, ``retrieve``,
+``describe`` (with every section 6 extension), ``compare`` — and dispatches
+to the right evaluator over one knowledge base.
+
+    >>> from repro import Session
+    >>> from repro.datasets.university import university_kb
+    >>> session = Session(university_kb())
+    >>> session.query("retrieve honor(X) where enroll(X, databases)")
+    ...
+    >>> session.query("describe honor(X)")
+    ...
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import CoreError
+from repro.catalog.database import KnowledgeBase
+from repro.core.answers import DescribeResult
+from repro.core.compare import ConceptComparison, compare_concepts
+from repro.core.describe import describe
+from repro.core.necessity import NecessityResult, describe_necessary, describe_without
+from repro.core.possibility import PossibilityResult, is_possible
+from repro.core.search import SearchConfig
+from repro.core.wildcard import describe_wildcard
+from repro.engine.evaluate import RetrieveResult, retrieve
+from repro.lang.ast import (
+    CompareStatement,
+    ConstraintStatement,
+    DescribeStatement,
+    ExplainStatement,
+    RetrieveStatement,
+    RuleStatement,
+    Statement,
+)
+from repro.lang.parser import parse_statement
+
+#: Everything a query can evaluate to.
+QueryResult = Union[
+    RetrieveResult,
+    DescribeResult,
+    NecessityResult,
+    PossibilityResult,
+    ConceptComparison,
+    dict,  # wildcard describe: predicate -> DescribeResult
+    str,   # acknowledgement of a definition
+]
+
+
+class Session:
+    """A knowledge base plus the query language on top of it."""
+
+    def __init__(
+        self,
+        kb: KnowledgeBase | None = None,
+        engine: str = "seminaive",
+        style: str = "standard",
+        config: SearchConfig | None = None,
+    ) -> None:
+        self.kb = kb if kb is not None else KnowledgeBase()
+        self.engine = engine
+        self.style = style
+        self.config = config
+
+    # -- statement execution -------------------------------------------------------
+
+    def query(self, source: str) -> QueryResult:
+        """Parse and evaluate one statement."""
+        return self.execute(parse_statement(source))
+
+    def execute(self, statement: Statement) -> QueryResult:
+        """Evaluate a parsed statement."""
+        if isinstance(statement, RuleStatement):
+            rule = statement.rule
+            if rule.is_fact():
+                # Ground, bodiless clauses are stored facts: they belong to
+                # an EDB predicate (declared on first use).
+                predicate = rule.head.predicate
+                if not self.kb.has_predicate(predicate):
+                    self.kb.declare_edb(predicate, rule.head.arity)
+                self.kb.add_fact(predicate, *rule.head.args)
+                return f"stored: {rule}"
+            self.kb.add_rule(rule)
+            return f"defined: {rule}"
+        if isinstance(statement, ConstraintStatement):
+            self.kb.add_constraint(statement.constraint)
+            return f"constrained: {statement.constraint}"
+        if isinstance(statement, RetrieveStatement):
+            return retrieve(
+                self.kb,
+                statement.subject,
+                statement.qualifier,
+                engine=self.engine,
+                negated_qualifier=statement.negated_qualifier,
+            )
+        if isinstance(statement, DescribeStatement):
+            return self._describe(statement)
+        if isinstance(statement, ExplainStatement):
+            from repro.engine.provenance import explain_statement
+
+            return explain_statement(self.kb, statement.subject, statement.qualifier)
+        if isinstance(statement, CompareStatement):
+            return self._compare(statement)
+        raise CoreError(f"cannot execute statement: {statement!r}")
+
+    # -- describe dispatch ------------------------------------------------------------
+
+    def _describe(self, statement: DescribeStatement) -> QueryResult:
+        if statement.wildcard:
+            if statement.negated_qualifier:
+                raise CoreError("wildcard describe does not take negated conjuncts")
+            return describe_wildcard(
+                self.kb, statement.qualifier, config=self.config, style=self.style
+            )
+        if statement.subject is None:
+            if statement.negated_qualifier:
+                raise CoreError("subjectless describe does not take negated conjuncts")
+            return is_possible(
+                self.kb, statement.qualifier, config=self.config, style=self.style
+            )
+        if statement.negated_qualifier:
+            if len(statement.negated_qualifier) != 1 or statement.qualifier:
+                raise CoreError(
+                    "the necessity test takes exactly one negated conjunct "
+                    "and no positive conjuncts"
+                )
+            return describe_without(
+                self.kb,
+                statement.subject,
+                statement.negated_qualifier[0],
+                config=self.config,
+                style=self.style,
+            )
+        if statement.alternatives:
+            from repro.core.disjunction import describe_disjunctive
+
+            if statement.necessary:
+                raise CoreError("'necessary' cannot be combined with 'or'")
+            return describe_disjunctive(
+                self.kb,
+                statement.subject,
+                (statement.qualifier, *statement.alternatives),
+                style=self.style,
+                config=self.config,
+            )
+        if statement.necessary:
+            return describe_necessary(
+                self.kb,
+                statement.subject,
+                statement.qualifier,
+                style=self.style,
+                config=self.config,
+            )
+        return describe(
+            self.kb,
+            statement.subject,
+            statement.qualifier,
+            style=self.style,
+            config=self.config,
+        )
+
+    def _compare(self, statement: CompareStatement) -> ConceptComparison:
+        left, right = statement.left, statement.right
+        if left.subject is None or right.subject is None or left.wildcard or right.wildcard:
+            raise CoreError("compare requires two subjects")
+        return compare_concepts(
+            self.kb,
+            left.subject,
+            right.subject,
+            left_hypothesis=left.qualifier,
+            right_hypothesis=right.qualifier,
+            config=self.config,
+            style=self.style,
+        )
+
+    # -- convenience ------------------------------------------------------------------
+
+    def load(self, source: str) -> int:
+        """Load a program (facts, rules, constraints); returns the count."""
+        from repro.lang.parser import parse_program
+
+        program = parse_program(source)
+        count = 0
+        for statement in program.statements:
+            if isinstance(statement, (RuleStatement, ConstraintStatement)):
+                self.execute(statement)
+                count += 1
+            else:
+                raise CoreError("load() accepts definitions only; use query()")
+        return count

@@ -1,0 +1,61 @@
+"""Unit tests for loading definition files."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.catalog.database import KnowledgeBase
+from repro.catalog.loader import kb_from_program, load_file, load_program
+
+PROGRAM = """
+% facts
+student(ann, math, 3.9).
+student(bob, cs, 3.4).
+enroll(ann, databases).
+
+% knowledge
+honor(X) <- student(X, M, G) and (G > 3.7).
+
+% policy
+not (honor(X) and student(X, M, G) and (G < 3.0)).
+"""
+
+
+class TestLoadProgram:
+    def test_counts_definitions(self):
+        kb = KnowledgeBase()
+        assert load_program(kb, PROGRAM) == 5
+
+    def test_facts_become_edb(self):
+        kb = kb_from_program(PROGRAM)
+        assert kb.is_edb("student")
+        assert kb.fact_count() == 3
+
+    def test_rules_become_idb(self):
+        kb = kb_from_program(PROGRAM)
+        assert kb.is_idb("honor")
+        assert len(kb.rules_for("honor")) == 1
+
+    def test_constraints_registered(self):
+        kb = kb_from_program(PROGRAM)
+        assert len(kb.constraints()) == 1
+
+    def test_queries_rejected_in_definition_files(self):
+        kb = KnowledgeBase()
+        with pytest.raises(CatalogError):
+            load_program(kb, "retrieve honor(X)")
+
+    def test_loaded_kb_answers_queries(self):
+        from repro.engine import retrieve
+        from repro.lang.parser import parse_atom
+
+        kb = kb_from_program(PROGRAM)
+        assert retrieve(kb, parse_atom("honor(X)")).values() == ["ann"]
+
+
+class TestLoadFile:
+    def test_round_trip_through_file(self, tmp_path):
+        path = tmp_path / "defs.dbk"
+        path.write_text(PROGRAM)
+        kb = KnowledgeBase()
+        assert load_file(kb, str(path)) == 5
+        assert kb.fact_count() == 3

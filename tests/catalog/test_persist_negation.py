@@ -1,0 +1,40 @@
+"""Persistence of the extended rule forms (negation, constraints)."""
+
+from repro.catalog.persist import kb_from_dict, kb_to_dict
+from repro.catalog.database import KnowledgeBase
+from repro.engine import retrieve
+from repro.lang.parser import parse_atom, parse_rule
+
+
+def visa_kb():
+    kb = KnowledgeBase("visa")
+    kb.declare_edb("person", 2)
+    kb.add_facts("person", [("ann", "usa"), ("bob", "france")])
+    kb.add_rules(
+        [
+            parse_rule("local(X) <- person(X, usa)."),
+            parse_rule("foreign(X) <- person(X, C) and not local(X)."),
+        ]
+    )
+    return kb
+
+
+class TestNegatedRulesRoundTrip:
+    def test_rule_text_preserves_negation(self):
+        kb = visa_kb()
+        data = kb_to_dict(kb)
+        assert "foreign(X) <- person(X, C) and not local(X)." in data["rules"]
+
+    def test_restored_kb_has_negated_rule(self):
+        restored = kb_from_dict(kb_to_dict(visa_kb()))
+        (rule,) = restored.rules_for("foreign")
+        assert rule.negated == (parse_atom("local(X)"),)
+
+    def test_restored_kb_evaluates_negation(self):
+        restored = kb_from_dict(kb_to_dict(visa_kb()))
+        assert retrieve(restored, parse_atom("foreign(X)")).values() == ["bob"]
+
+    def test_double_round_trip_is_stable(self):
+        once = kb_to_dict(visa_kb())
+        twice = kb_to_dict(kb_from_dict(once))
+        assert once == twice

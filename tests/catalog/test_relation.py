@@ -1,0 +1,101 @@
+"""Unit tests for stored relations and their indexes."""
+
+import pytest
+
+from repro.errors import ArityError, CatalogError
+from repro.catalog.relation import Relation
+from repro.logic.terms import Constant, Variable
+
+
+def rows_of(iterator):
+    return sorted(tuple(c.value for c in row) for row in iterator)
+
+
+class TestMutation:
+    def test_insert_and_contains(self):
+        rel = Relation(2)
+        assert rel.insert(("a", "b"))
+        assert ("a", "b") in {tuple(c.value for c in r) for r in rel.rows()}
+
+    def test_duplicate_insert_returns_false(self):
+        rel = Relation(2, [("a", "b")])
+        assert not rel.insert(("a", "b"))
+        assert len(rel) == 1
+
+    def test_insert_many_counts_new(self):
+        rel = Relation(1)
+        assert rel.insert_many([("a",), ("b",), ("a",)]) == 2
+
+    def test_arity_checked(self):
+        rel = Relation(2)
+        with pytest.raises(ArityError):
+            rel.insert(("a",))
+
+    def test_variables_rejected(self):
+        rel = Relation(1)
+        with pytest.raises(CatalogError):
+            rel.insert(("X",))  # capitalised: parses as a variable
+
+    def test_delete(self):
+        rel = Relation(2, [("a", "b"), ("c", "d")])
+        assert rel.delete(("a", "b"))
+        assert not rel.delete(("a", "b"))
+        assert len(rel) == 1
+
+    def test_delete_maintains_index(self):
+        rel = Relation(2, [("a", "b"), ("a", "c")])
+        list(rel.lookup([Constant("a"), None]))  # build index on column 0
+        rel.delete(("a", "b"))
+        assert rows_of(rel.lookup([Constant("a"), None])) == [("a", "c")]
+
+    def test_clear(self):
+        rel = Relation(1, [("a",)])
+        rel.clear()
+        assert len(rel) == 0
+
+
+class TestLookup:
+    def test_full_scan(self):
+        rel = Relation(2, [("a", "b"), ("c", "d")])
+        assert rows_of(rel.lookup([None, None])) == [("a", "b"), ("c", "d")]
+
+    def test_single_column_probe(self):
+        rel = Relation(2, [("a", "b"), ("a", "c"), ("x", "y")])
+        assert rows_of(rel.lookup([Constant("a"), None])) == [("a", "b"), ("a", "c")]
+
+    def test_multi_column_probe(self):
+        rel = Relation(3, [("a", "b", "c"), ("a", "b", "d"), ("a", "e", "c")])
+        found = rows_of(rel.lookup([Constant("a"), Constant("b"), None]))
+        assert found == [("a", "b", "c"), ("a", "b", "d")]
+
+    def test_no_match(self):
+        rel = Relation(2, [("a", "b")])
+        assert rows_of(rel.lookup([Constant("z"), None])) == []
+
+    def test_variables_are_wildcards(self):
+        rel = Relation(2, [("a", "b")])
+        assert rows_of(rel.lookup([Variable("X"), Constant("b")])) == [("a", "b")]
+
+    def test_pattern_arity_checked(self):
+        rel = Relation(2)
+        with pytest.raises(ArityError):
+            list(rel.lookup([None]))
+
+    def test_insert_after_index_built(self):
+        rel = Relation(2, [("a", "b")])
+        list(rel.lookup([Constant("a"), None]))
+        rel.insert(("a", "z"))
+        assert rows_of(rel.lookup([Constant("a"), None])) == [("a", "b"), ("a", "z")]
+
+    def test_numeric_keys(self):
+        rel = Relation(2, [("ann", 3.9), ("bob", 3.4)])
+        assert rows_of(rel.lookup([None, Constant(3.9)])) == [("ann", 3.9)]
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        rel = Relation(1, [("a",)])
+        clone = rel.copy()
+        clone.insert(("b",))
+        assert len(rel) == 1
+        assert len(clone) == 2

@@ -1,0 +1,45 @@
+"""Unit tests for predicate schemas."""
+
+import pytest
+
+from repro.errors import ArityError, SchemaError
+from repro.catalog.schema import PredicateKind, PredicateSchema
+
+
+class TestPredicateSchema:
+    def test_construction(self):
+        schema = PredicateSchema("student", 3, PredicateKind.EDB, ["name", "major", "gpa"])
+        assert schema.arity == 3
+        assert schema.attributes == ("name", "major", "gpa")
+
+    def test_attribute_count_must_match_arity(self):
+        with pytest.raises(SchemaError):
+            PredicateSchema("p", 2, PredicateKind.EDB, ["only_one"])
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            PredicateSchema("p", -1, PredicateKind.EDB)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            PredicateSchema("", 1, PredicateKind.EDB)
+
+    def test_check_arity(self):
+        schema = PredicateSchema("p", 2, PredicateKind.IDB)
+        schema.check_arity(2)
+        with pytest.raises(ArityError):
+            schema.check_arity(3)
+
+    def test_str_with_attributes(self):
+        schema = PredicateSchema("enroll", 2, PredicateKind.EDB, ["sname", "ctitle"])
+        assert str(schema) == "enroll(sname, ctitle)"
+
+    def test_str_without_attributes(self):
+        schema = PredicateSchema("p", 2, PredicateKind.IDB)
+        assert str(schema) == "p(arg0, arg1)"
+
+    def test_equality_ignores_attributes(self):
+        left = PredicateSchema("p", 1, PredicateKind.EDB, ["a"])
+        right = PredicateSchema("p", 1, PredicateKind.EDB)
+        assert left == right
+        assert hash(left) == hash(right)

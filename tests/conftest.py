@@ -1,0 +1,36 @@
+"""Shared fixtures: the bundled databases and parsing helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    enterprise_kb,
+    routing_kb,
+    symmetric_routing_kb,
+    university_kb,
+)
+
+
+@pytest.fixture
+def uni():
+    """The paper's university database (fresh per test)."""
+    return university_kb()
+
+
+@pytest.fixture
+def routing():
+    """The flight-routing database."""
+    return routing_kb()
+
+
+@pytest.fixture
+def symmetric_routing():
+    """Routing with the permutation (symmetry) rule."""
+    return symmetric_routing_kb()
+
+
+@pytest.fixture
+def enterprise():
+    """The enterprise/HR database."""
+    return enterprise_kb()

@@ -1,0 +1,74 @@
+"""Unit tests for comparison post-processing of answers."""
+
+from repro.core.comparisons import hypothesis_comparisons, postprocess_answer
+from repro.core.search import RawAnswer
+from repro.lang.parser import parse_atom, parse_body
+
+
+def raw(head_text, body_text, used=frozenset({0}), bare=False):
+    return RawAnswer(
+        head=parse_atom(head_text),
+        body=parse_body(body_text) if body_text else (),
+        used=used,
+        bare=bare,
+    )
+
+
+class TestHypothesisComparisons:
+    def test_extraction(self):
+        hyp = parse_body("student(X, math, V) and (V > 3.7)")
+        assert hypothesis_comparisons(hyp) == parse_body("(V > 3.7)")
+
+
+class TestRemoval:
+    def test_implied_comparison_removed(self):
+        # Paper Example 3: the honor GPA test is absorbed by the hypothesis.
+        hyp = parse_body("student(X, math, V) and (V > 3.7)")
+        answer = postprocess_answer(raw("honor(X)", "(V > 3.7)"), hyp)
+        assert answer is not None
+        assert answer.body == ()
+        assert answer.dropped_comparisons == parse_body("(V > 3.7)")
+
+    def test_weaker_comparison_removed(self):
+        hyp = parse_body("(V > 3.7)")
+        answer = postprocess_answer(raw("p(X)", "(V > 3.3)"), hyp)
+        assert answer.body == ()
+
+    def test_stronger_comparison_kept(self):
+        hyp = parse_body("(V > 3.3)")
+        answer = postprocess_answer(raw("p(X)", "(V > 3.7)"), hyp)
+        assert answer.body == parse_body("(V > 3.7)")
+
+    def test_tautology_removed_without_hypothesis(self):
+        answer = postprocess_answer(raw("p(X)", "q(X) and (3 < 5)"), ())
+        assert answer.body == parse_body("q(X)")
+
+    def test_ordinary_atoms_untouched(self):
+        hyp = parse_body("(V > 3.7)")
+        answer = postprocess_answer(raw("p(X)", "complete(X, Y) and (U > 3.3)"), hyp)
+        assert [b.predicate for b in answer.body] == ["complete", ">"]
+
+
+class TestDiscarding:
+    def test_contradicting_answer_discarded(self):
+        # Paper section 6 / subjectless describe: Z < 3.5 kills Z > 3.7.
+        hyp = parse_body("student(X, Y, Z) and (Z < 3.5)")
+        assert postprocess_answer(raw("can_ta(X, U)", "(Z > 3.7)"), hyp) is None
+
+    def test_self_contradictory_body_discarded(self):
+        answer = postprocess_answer(raw("p(X)", "(X > 5) and (X < 3)"), ())
+        assert answer is None
+
+    def test_compatible_bounds_survive(self):
+        hyp = parse_body("(Z > 3.0)")
+        answer = postprocess_answer(raw("p(X)", "(Z > 3.7)"), hyp)
+        assert answer is not None
+
+
+class TestProvenancePreserved:
+    def test_used_and_bare_flow_through(self):
+        answer = postprocess_answer(
+            raw("p(X)", "q(X)", used=frozenset({1}), bare=True), ()
+        )
+        assert answer.used_hypotheses == frozenset({1})
+        assert answer.bare

@@ -1,0 +1,102 @@
+"""Unit tests for the public describe entry point (dispatch and pipeline)."""
+
+import pytest
+
+from repro.errors import CoreError, NonRecursiveSubjectRequired
+from repro.core import describe
+from repro.core.search import SearchConfig
+from repro.lang.parser import parse_atom, parse_body
+
+
+class TestDispatch:
+    def test_auto_uses_algorithm1_for_nonrecursive(self, uni):
+        result = describe(uni, parse_atom("honor(X)"))
+        assert result.algorithm == "algorithm1"
+
+    def test_auto_uses_algorithm2_for_recursive(self, uni):
+        result = describe(uni, parse_atom("prior(X, Y)"))
+        assert result.algorithm == "algorithm2"
+
+    def test_forcing_algorithm1_on_recursion_raises(self, uni):
+        with pytest.raises(NonRecursiveSubjectRequired):
+            describe(uni, parse_atom("prior(X, Y)"), algorithm="algorithm1")
+
+    def test_algorithm2_works_on_nonrecursive_subjects(self, uni):
+        auto = describe(uni, parse_atom("honor(X)"))
+        forced = describe(uni, parse_atom("honor(X)"), algorithm="algorithm2")
+        assert {str(r) for r in forced.rules()} == {str(r) for r in auto.rules()}
+
+    def test_unknown_algorithm_rejected(self, uni):
+        with pytest.raises(CoreError):
+            describe(uni, parse_atom("honor(X)"), algorithm="algorithm3")
+
+
+class TestValidation:
+    def test_edb_subject_rejected(self, uni):
+        with pytest.raises(CoreError):
+            describe(uni, parse_atom("student(X, Y, Z)"))
+
+    def test_unknown_subject_rejected(self, uni):
+        with pytest.raises(CoreError):
+            describe(uni, parse_atom("ghost(X)"))
+
+    def test_comparison_subject_rejected(self, uni):
+        with pytest.raises(CoreError):
+            describe(uni, parse_atom("(X > 3)"))
+
+    def test_subject_arity_checked(self, uni):
+        from repro.errors import ArityError
+
+        with pytest.raises(ArityError):
+            describe(uni, parse_atom("honor(X, Y)"))
+
+
+class TestPipeline:
+    def test_duplicate_answers_removed(self, uni):
+        result = describe(uni, parse_atom("can_ta(X, Y)"), parse_body("honor(X)"))
+        texts = [str(a) for a in result.answers]
+        assert len(texts) == len(set(texts))
+
+    def test_contradiction_flag(self, uni):
+        result = describe(
+            uni,
+            parse_atom("honor(X)"),
+            parse_body("student(X, math, V) and (V < 3.0)"),
+        )
+        assert result.contradiction
+        assert not result.answers
+
+    def test_no_contradiction_when_answers_survive(self, uni):
+        result = describe(
+            uni,
+            parse_atom("honor(X)"),
+            parse_body("student(X, math, V) and (V > 3.8)"),
+        )
+        assert not result.contradiction
+        assert result.answers
+
+    def test_statistics_populated(self, uni):
+        result = describe(uni, parse_atom("can_ta(X, Y)"), parse_body("honor(X)"))
+        assert result.statistics.steps > 0
+        assert result.statistics.raw_answers >= len(result.answers)
+
+    def test_custom_config_respected(self, uni):
+        from repro.errors import SearchBudgetExceeded
+
+        with pytest.raises(SearchBudgetExceeded):
+            describe(
+                uni,
+                parse_atom("can_ta(X, Y)"),
+                parse_body("honor(X)"),
+                config=SearchConfig(max_steps=2, use_tags=False, typing_guard=False),
+            )
+
+    def test_answer_variables_are_readable(self, uni):
+        result = describe(
+            uni,
+            parse_atom("can_ta(X, databases)"),
+            parse_body("student(X, math, V) and (V > 3.7)"),
+        )
+        for answer in result.answers:
+            for variable in answer.rule.variables():
+                assert "#" not in variable.name

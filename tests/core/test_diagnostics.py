@@ -1,0 +1,102 @@
+"""Tests for the rule-base diagnostics."""
+
+from repro.core.diagnostics import audit, find_redundant_rules
+from repro.catalog.database import KnowledgeBase
+from repro.lang.parser import parse_rule
+
+
+class TestRedundantRules:
+    def test_clean_paper_database(self, uni):
+        assert find_redundant_rules(uni) == []
+
+    def test_specialisation_detected(self, uni):
+        kb = uni.copy()
+        redundant = parse_rule(
+            "honor(X) <- student(X, Y, Z) and (Z > 3.7) and enroll(X, C)."
+        )
+        kb.add_rule(redundant)
+        pairs = find_redundant_rules(kb)
+        assert len(pairs) == 1
+        kept, dropped = pairs[0]
+        assert dropped == redundant
+
+    def test_comparison_specialisation_detected(self):
+        kb = KnowledgeBase()
+        kb.declare_edb("student", 2)
+        kb.add_rule(parse_rule("good(X) <- student(X, G) and (G > 3.0)."))
+        kb.add_rule(parse_rule("good(X) <- student(X, G) and (G > 3.5)."))
+        pairs = find_redundant_rules(kb)
+        assert len(pairs) == 1
+        assert "(G > 3.5)" in str(pairs[0][1])
+
+    def test_variant_rules_detected(self):
+        kb = KnowledgeBase()
+        kb.declare_edb("q", 1)
+        kb.add_rule(parse_rule("p(X) <- q(X)."))
+        kb.add_rule(parse_rule("p(A) <- q(A)."))
+        assert len(find_redundant_rules(kb)) == 1
+
+    def test_base_does_not_subsume_recursive_rule(self, uni):
+        # prior's base rule must NOT be reported as subsuming the recursive
+        # one (a former bug: shared head variable names leaked bindings).
+        pairs = find_redundant_rules(uni)
+        assert all("prior" not in str(dropped) for _kept, dropped in pairs)
+
+    def test_different_negation_not_compared(self):
+        kb = KnowledgeBase()
+        kb.declare_edb("q", 1)
+        kb.declare_edb("r", 1)
+        kb.add_rule(parse_rule("p(X) <- q(X)."))
+        kb.add_rule(parse_rule("p(X) <- q(X) and not r(X)."))
+        assert find_redundant_rules(kb) == []
+
+
+class TestAudit:
+    def test_clean_database(self, uni):
+        report = audit(uni)
+        assert report.clean
+        assert not report.redundant_rules
+
+    def test_unused_is_informational(self, uni):
+        report = audit(uni)
+        # enroll is used by queries but by no rule: listed, yet still clean.
+        assert "enroll" in report.unused_predicates
+        assert report.clean
+
+    def test_undefined_predicate_reported(self):
+        kb = KnowledgeBase()
+        kb.declare_edb("q", 1)
+        kb.add_fact("q", "a")
+        kb.add_rule(parse_rule("p(X) <- q(X) and ghost(X)."))
+        report = audit(kb)
+        assert report.undefined_predicates
+        assert not report.clean
+
+    def test_empty_extension_reported(self):
+        kb = KnowledgeBase()
+        kb.declare_edb("q", 2)
+        kb.add_fact("q", "a", 1)
+        kb.add_rule(parse_rule("p(X) <- q(X, V) and (V > 100)."))
+        report = audit(kb)
+        assert report.empty_predicates == ["p"]
+
+    def test_extension_check_can_be_skipped(self):
+        kb = KnowledgeBase()
+        kb.declare_edb("q", 2)
+        kb.add_rule(parse_rule("p(X) <- q(X, V) and (V > 100)."))
+        report = audit(kb, check_extensions=False)
+        assert report.empty_predicates == []
+
+    def test_report_rendering(self, uni):
+        kb = uni.copy()
+        kb.add_rule(parse_rule("honor(X) <- student(X, Y, Z) and (Z > 3.7) and enroll(X, C)."))
+        text = str(audit(kb))
+        assert "redundant" in text
+        assert "subsumed by" in text
+
+    def test_clean_rendering(self):
+        kb = KnowledgeBase()
+        kb.declare_edb("q", 1)
+        kb.add_rule(parse_rule("p(X) <- q(X)."))
+        kb.add_fact("q", "a")
+        assert str(audit(kb)) == "rule base is clean"

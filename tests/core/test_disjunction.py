@@ -1,0 +1,88 @@
+"""Tests for disjunctive hypotheses in describe."""
+
+import pytest
+
+from repro.errors import CoreError
+from repro.core.disjunction import describe_disjunctive
+from repro.lang.parser import parse_atom, parse_body
+
+
+class TestDescribeDisjunctive:
+    def test_per_case_answers(self, uni):
+        result = describe_disjunctive(
+            uni,
+            parse_atom("can_ta(X, Y)"),
+            [parse_body("teach(susan, Y)"), parse_body("teach(tom, Y)")],
+        )
+        assert len(result.cases) == 2
+        susan_case, tom_case = result.cases
+        assert any("susan" in str(a) for a in susan_case.answers)
+        assert any("tom" in str(a) for a in tom_case.answers)
+
+    def test_unconditional_intersection(self, uni):
+        result = describe_disjunctive(
+            uni,
+            parse_atom("can_ta(X, Y)"),
+            [parse_body("teach(susan, Y)"), parse_body("teach(tom, Y)")],
+        )
+        texts = {str(a) for a in result.unconditional}
+        # The grade-4.0 rule needs neither hypothesis: it holds in both cases.
+        assert any("4.0" in t for t in texts)
+        assert not any("susan" in t or "tom" in t for t in texts)
+
+    def test_single_disjunct_matches_plain_describe(self, uni):
+        from repro.core import describe
+
+        plain = describe(uni, parse_atom("honor(X)"), parse_body("student(X, math, V)"))
+        disjunctive = describe_disjunctive(
+            uni, parse_atom("honor(X)"), [parse_body("student(X, math, V)")]
+        )
+        assert {str(a) for a in disjunctive.unconditional} == {
+            str(a) for a in plain.answers
+        }
+
+    def test_contradicting_case_reported(self, uni):
+        result = describe_disjunctive(
+            uni,
+            parse_atom("honor(X)"),
+            [
+                parse_body("student(X, math, V) and (V < 3.0)"),
+                parse_body("student(X, math, V) and (V > 3.8)"),
+            ],
+        )
+        assert result.cases[0].contradiction
+        assert not result.cases[1].contradiction
+        assert "contradicts" in str(result)
+
+    def test_empty_disjunct_list_rejected(self, uni):
+        with pytest.raises(CoreError):
+            describe_disjunctive(uni, parse_atom("honor(X)"), [])
+
+    def test_str_structure(self, uni):
+        result = describe_disjunctive(
+            uni,
+            parse_atom("can_ta(X, Y)"),
+            [parse_body("teach(susan, Y)"), parse_body("teach(tom, Y)")],
+        )
+        text = str(result)
+        assert "when teach(susan, Y):" in text
+        assert "when teach(tom, Y):" in text
+
+
+class TestSessionIntegration:
+    def test_or_in_query_language(self, uni):
+        from repro.session import Session
+
+        result = Session(uni).query(
+            "describe can_ta(X, Y) where teach(susan, Y) or teach(tom, Y)"
+        )
+        assert len(result.cases) == 2
+        assert result.unconditional
+
+    def test_or_with_necessary_rejected(self, uni):
+        from repro.session import Session
+
+        with pytest.raises(CoreError):
+            Session(uni).query(
+                "describe can_ta(X, Y) where necessary teach(susan, Y) or teach(tom, Y)"
+            )

@@ -1,0 +1,44 @@
+"""Tests for intensional answers (the paper's mechanism 2)."""
+
+from repro.core.intensional import intensional_answer
+from repro.lang.parser import parse_atom, parse_body
+
+
+class TestIntensionalAnswer:
+    def test_fully_intensional_answer(self, uni):
+        result = intensional_answer(uni, parse_atom("honor(X)"))
+        assert result.fully_intensional
+        assert len(result.rules) == 1
+        assert "student" in str(result.rules[0].answer)
+        assert len(result.rules[0].rows) == 5
+
+    def test_rules_partition_can_ta(self, uni):
+        result = intensional_answer(uni, parse_atom("can_ta(X, databases)"))
+        assert result.fully_intensional
+        covered = {row for covered in result.rules for row in covered.rows}
+        assert covered == set(result.extension.rows)
+
+    def test_qualifier_flows_into_rules(self, uni):
+        result = intensional_answer(
+            uni, parse_atom("can_ta(X, Y)"), parse_body("teach(susan, Y)")
+        )
+        texts = [str(c.answer) for c in result.rules]
+        assert any("susan" in t for t in texts)
+
+    def test_empty_extension(self, uni):
+        result = intensional_answer(
+            uni, parse_atom("can_ta(X, mechanics)")  # nobody completed mechanics
+        )
+        assert not result.extension.rows
+        assert not result.fully_intensional
+        assert "empty answer" in str(result)
+
+    def test_coverage_counts_in_rendering(self, uni):
+        result = intensional_answer(uni, parse_atom("honor(X)"))
+        assert "covers 5 rows" in str(result)
+
+    def test_recursive_subject(self, uni):
+        result = intensional_answer(uni, parse_atom("prior(databases, Y)"))
+        assert result.extension.rows
+        # The bare base rule covers the one-hop answers at least.
+        assert result.rules

@@ -1,0 +1,127 @@
+"""Tests for counting-based incremental maintenance."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.engine.incremental import (
+    STRATEGY_COUNTING,
+    STRATEGY_DRED,
+    STRATEGY_RECOMPUTE,
+    MaterializedDatabase,
+)
+from repro.engine.seminaive import SemiNaiveEngine
+from repro.catalog.database import KnowledgeBase
+from repro.lang.parser import parse_atom, parse_rule
+
+
+def layered_kb():
+    """A three-layer non-recursive program with a doubly derivable fact."""
+    kb = KnowledgeBase()
+    kb.declare_edb("student", 3)
+    kb.declare_edb("enroll", 2)
+    kb.add_facts(
+        "student",
+        [("ann", "math", 3.9), ("bob", "cs", 3.4), ("carol", "cs", 3.95)],
+    )
+    kb.add_facts("enroll", [("ann", "db"), ("carol", "db"), ("bob", "ai")])
+    kb.add_rules(
+        [
+            parse_rule("honor(X) <- student(X, M, G) and (G > 3.7)."),
+            parse_rule("star(X) <- honor(X) and enroll(X, db)."),
+            parse_rule("star(X) <- student(X, cs, G) and (G > 3.9)."),
+        ]
+    )
+    return kb
+
+
+class TestStrategySelection:
+    def test_auto_picks_counting_for_nonrecursive(self):
+        assert MaterializedDatabase(layered_kb()).strategy == STRATEGY_COUNTING
+
+    def test_auto_picks_dred_for_recursive(self, uni):
+        assert MaterializedDatabase(uni).strategy == STRATEGY_DRED
+
+    def test_auto_picks_recompute_for_negation(self):
+        kb = KnowledgeBase()
+        kb.declare_edb("p", 1)
+        kb.add_rule(parse_rule("q(X) <- p(X) and not r(X)."))
+        assert MaterializedDatabase(kb).strategy == STRATEGY_RECOMPUTE
+
+    def test_counting_on_recursion_rejected(self, uni):
+        with pytest.raises(CatalogError):
+            MaterializedDatabase(uni, strategy=STRATEGY_COUNTING)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(CatalogError):
+            MaterializedDatabase(layered_kb(), strategy="hogwash")
+
+    def test_dred_forced_on_nonrecursive_works(self):
+        mat = MaterializedDatabase(layered_kb(), strategy=STRATEGY_DRED)
+        mat.delete("enroll", "ann", "db")
+        assert not mat.holds(parse_atom("star(ann)"))
+
+
+class TestDerivationCounts:
+    def test_multiply_derived_fact(self):
+        mat = MaterializedDatabase(layered_kb())
+        assert mat.derivation_count(parse_atom("star(carol)")) == 2
+        assert mat.derivation_count(parse_atom("star(ann)")) == 1
+        assert mat.derivation_count(parse_atom("star(bob)")) == 0
+
+    def test_deletion_decrements_without_killing(self):
+        mat = MaterializedDatabase(layered_kb())
+        mat.delete("enroll", "carol", "db")
+        assert mat.holds(parse_atom("star(carol)"))
+        assert mat.derivation_count(parse_atom("star(carol)")) == 1
+
+    def test_count_reaches_zero_removes_fact(self):
+        mat = MaterializedDatabase(layered_kb())
+        mat.delete("enroll", "carol", "db")
+        mat.delete("student", "carol", "cs", 3.95)
+        assert not mat.holds(parse_atom("star(carol)"))
+        assert mat.derivation_count(parse_atom("star(carol)")) == 0
+
+    def test_insert_increments(self):
+        mat = MaterializedDatabase(layered_kb())
+        mat.insert("enroll", "bob", "db")
+        assert mat.derivation_count(parse_atom("star(bob)")) == 0  # bob not honor
+        mat.insert("student", "dora", "cs", 3.95)
+        mat.insert("enroll", "dora", "db")
+        assert mat.derivation_count(parse_atom("star(dora)")) == 2
+
+    def test_counts_unavailable_in_dred_mode(self, uni):
+        mat = MaterializedDatabase(uni)
+        with pytest.raises(CatalogError):
+            mat.derivation_count(parse_atom("honor(ann)"))
+
+
+class TestCountingFuzz:
+    @pytest.mark.parametrize("seed", [11, 23])
+    def test_random_updates_match_recompute(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        kb = layered_kb()
+        mat = MaterializedDatabase(kb)
+        names = ["ann", "bob", "carol", "dave", "eve"]
+        for _ in range(80):
+            if rng.random() < 0.55:
+                if rng.random() < 0.6:
+                    mat.insert(
+                        "student",
+                        rng.choice(names),
+                        rng.choice(["math", "cs"]),
+                        rng.choice([3.2, 3.8, 3.95]),
+                    )
+                else:
+                    mat.insert("enroll", rng.choice(names), rng.choice(["db", "ai"]))
+            else:
+                rows = [tuple(c.value for c in r) for r in kb.facts("student")]
+                erows = [tuple(c.value for c in r) for r in kb.facts("enroll")]
+                if rng.random() < 0.5 and rows:
+                    mat.delete("student", *rng.choice(rows))
+                elif erows:
+                    mat.delete("enroll", *rng.choice(erows))
+        for predicate in ("honor", "star"):
+            fresh = set(SemiNaiveEngine(kb).derived_relation(predicate).rows())
+            assert mat.rows(predicate) == fresh

@@ -1,0 +1,140 @@
+"""Tests for incremental view maintenance (insert propagation + DRed)."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.engine.incremental import MaterializedDatabase
+from repro.engine.seminaive import SemiNaiveEngine
+from repro.catalog.database import KnowledgeBase
+from repro.datasets import chain_graph_kb, random_graph_kb
+from repro.lang.parser import parse_atom, parse_rule
+
+
+def fresh_rows(kb, predicate):
+    return set(SemiNaiveEngine(kb).derived_relation(predicate).rows())
+
+
+class TestInsertions:
+    def test_initial_state_matches_recomputation(self, uni):
+        mat = MaterializedDatabase(uni)
+        for predicate in uni.idb_predicates():
+            assert mat.rows(predicate) == fresh_rows(uni, predicate)
+
+    def test_insert_propagates_one_level(self, uni):
+        mat = MaterializedDatabase(uni)
+        mat.insert("student", "zoe", "math", 3.99)
+        assert mat.holds(parse_atom("honor(zoe)"))
+
+    def test_insert_propagates_through_layers(self, uni):
+        mat = MaterializedDatabase(uni)
+        mat.insert("student", "zoe", "math", 3.99)
+        mat.insert("complete", "zoe", "algebra", "f88", 4.0)
+        assert mat.holds(parse_atom("can_ta(zoe, algebra)"))
+
+    def test_insert_propagates_through_recursion(self):
+        kb = chain_graph_kb(4)
+        mat = MaterializedDatabase(kb)
+        mat.insert("edge", "n4", "n5")
+        assert mat.holds(parse_atom("path(n0, n5)"))
+        assert mat.rows("path") == fresh_rows(kb, "path")
+
+    def test_duplicate_insert_is_noop(self, uni):
+        mat = MaterializedDatabase(uni)
+        before = mat.rows("honor")
+        assert not mat.insert("student", "ann", "math", 3.9)
+        assert mat.rows("honor") == before
+
+    def test_insert_into_idb_rejected(self, uni):
+        mat = MaterializedDatabase(uni)
+        with pytest.raises(CatalogError):
+            mat.insert("honor", "zoe")
+
+
+class TestDeletions:
+    def test_delete_retracts_direct_consequence(self, uni):
+        mat = MaterializedDatabase(uni)
+        mat.delete("student", "ann", "math", 3.9)
+        assert not mat.holds(parse_atom("honor(ann)"))
+        assert mat.rows("honor") == fresh_rows(uni, "honor")
+
+    def test_delete_retracts_through_layers(self, uni):
+        mat = MaterializedDatabase(uni)
+        mat.delete("student", "bob", "math", 3.8)
+        assert not mat.holds(parse_atom("can_ta(bob, databases)"))
+
+    def test_rederivation_keeps_supported_facts(self):
+        # Two parallel edges support the same path: deleting one keeps it.
+        kb = KnowledgeBase()
+        kb.declare_edb("edge", 2)
+        kb.add_facts("edge", [("a", "b"), ("a", "c"), ("c", "b")])
+        kb.add_rules(
+            [
+                parse_rule("path(X, Y) <- edge(X, Y)."),
+                parse_rule("path(X, Y) <- edge(X, Z) and path(Z, Y)."),
+            ]
+        )
+        mat = MaterializedDatabase(kb)
+        mat.delete("edge", "a", "b")
+        assert mat.holds(parse_atom("path(a, b)"))  # via a -> c -> b
+        assert mat.rows("path") == fresh_rows(kb, "path")
+
+    def test_delete_in_cycle(self):
+        kb = KnowledgeBase()
+        kb.declare_edb("edge", 2)
+        kb.add_facts("edge", [("a", "b"), ("b", "a"), ("b", "c")])
+        kb.add_rules(
+            [
+                parse_rule("path(X, Y) <- edge(X, Y)."),
+                parse_rule("path(X, Y) <- edge(X, Z) and path(Z, Y)."),
+            ]
+        )
+        mat = MaterializedDatabase(kb)
+        mat.delete("edge", "b", "a")
+        assert mat.rows("path") == fresh_rows(kb, "path")
+        assert not mat.holds(parse_atom("path(b, a)"))
+        assert mat.holds(parse_atom("path(a, c)"))
+
+    def test_absent_delete_is_noop(self, uni):
+        mat = MaterializedDatabase(uni)
+        before = mat.rows("honor")
+        assert not mat.delete("student", "nobody", "math", 4.0)
+        assert mat.rows("honor") == before
+
+
+class TestFuzzedAgreement:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_update_sequences(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        kb = random_graph_kb(nodes=8, edges=12, seed=seed)
+        mat = MaterializedDatabase(kb)
+        nodes = [f"n{i}" for i in range(8)]
+        for _ in range(60):
+            src, dst = rng.sample(nodes, 2)
+            if rng.random() < 0.5:
+                mat.insert("edge", src, dst)
+            else:
+                mat.delete("edge", src, dst)
+        assert mat.rows("path") == fresh_rows(kb, "path")
+
+
+class TestNegationFallback:
+    def test_negation_forces_recompute_mode(self):
+        kb = KnowledgeBase()
+        kb.declare_edb("person", 2)
+        kb.add_facts("person", [("ann", "usa"), ("bob", "france")])
+        kb.add_rules(
+            [
+                parse_rule("local(X) <- person(X, usa)."),
+                parse_rule("foreign(X) <- person(X, C) and not local(X)."),
+            ]
+        )
+        mat = MaterializedDatabase(kb)
+        assert not mat.incremental
+        mat.insert("person", "carol", "japan")
+        assert mat.holds(parse_atom("foreign(carol)"))
+        # Non-monotone case: inserting ann's duplicate country record for
+        # bob turns him local and *removes* a derived fact.
+        mat.insert("person", "bob", "usa")
+        assert not mat.holds(parse_atom("foreign(bob)"))

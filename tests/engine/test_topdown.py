@@ -1,0 +1,101 @@
+"""Unit tests for the top-down tabled engine."""
+
+import pytest
+
+from repro.errors import EvaluationLimitError
+from repro.catalog.database import KnowledgeBase
+from repro.engine.topdown import TopDownEngine, call_key, key_atom
+from repro.datasets import chain_graph_kb
+from repro.lang.parser import parse_atom, parse_body, parse_rule
+from repro.logic.terms import Constant, Variable
+
+
+class TestCallKeys:
+    def test_constants_distinguish_keys(self):
+        assert call_key(parse_atom("p(a, X)")) != call_key(parse_atom("p(b, X)"))
+
+    def test_variable_names_abstracted(self):
+        assert call_key(parse_atom("p(X, Y)")) == call_key(parse_atom("p(A, B)"))
+
+    def test_repeated_variables_tracked(self):
+        assert call_key(parse_atom("p(X, X)")) != call_key(parse_atom("p(X, Y)"))
+
+    def test_key_atom_round_trip(self):
+        key = call_key(parse_atom("p(a, X, X)"))
+        atom = key_atom(key)
+        assert call_key(atom) == key
+
+
+class TestQueries:
+    def test_edb_only(self, uni):
+        engine = TopDownEngine(uni)
+        results = list(engine.query(parse_body("enroll(X, databases)")))
+        assert len(results) == 4
+
+    def test_idb_goal(self, uni):
+        engine = TopDownEngine(uni)
+        names = {
+            theta.apply_term(Variable("X")).value
+            for theta in engine.query(parse_body("honor(X)"))
+        }
+        assert names == {"ann", "bob", "carol", "frank", "grace"}
+
+    def test_selective_call_tables_less(self, uni):
+        selective = TopDownEngine(uni)
+        list(selective.query(parse_body("can_ta(bob, databases)")))
+        full = TopDownEngine(uni)
+        list(full.query(parse_body("can_ta(X, Y)")))
+        assert selective.answer_count() <= full.answer_count()
+
+    def test_recursive_goal(self):
+        kb = chain_graph_kb(6)
+        engine = TopDownEngine(kb)
+        reachable = {
+            theta.apply_term(Variable("Y")).value
+            for theta in engine.query(parse_body("path(n0, Y)"))
+        }
+        assert reachable == {f"n{i}" for i in range(1, 7)}
+
+    def test_cyclic_graph_terminates(self):
+        kb = KnowledgeBase()
+        kb.declare_edb("edge", 2)
+        kb.add_facts("edge", [("a", "b"), ("b", "a")])
+        kb.add_rules(
+            [
+                parse_rule("path(X, Y) <- edge(X, Y)."),
+                parse_rule("path(X, Y) <- edge(X, Z) and path(Z, Y)."),
+            ]
+        )
+        engine = TopDownEngine(kb)
+        pairs = {
+            (t.apply_term(Variable("X")).value, t.apply_term(Variable("Y")).value)
+            for t in engine.query(parse_body("path(X, Y)"))
+        }
+        assert pairs == {("a", "b"), ("b", "a"), ("a", "a"), ("b", "b")}
+
+    def test_bound_argument_goal(self):
+        kb = chain_graph_kb(6)
+        engine = TopDownEngine(kb)
+        results = list(engine.query(parse_body("path(n0, n3)")))
+        assert len(results) == 1
+
+    def test_comparison_in_query(self, uni):
+        engine = TopDownEngine(uni)
+        names = {
+            t.apply_term(Variable("X")).value
+            for t in engine.query(parse_body("student(X, math, G) and (G > 3.7)"))
+        }
+        assert names == {"ann", "bob"}
+
+    def test_budget_enforced(self):
+        kb = chain_graph_kb(60)
+        engine = TopDownEngine(kb, max_table_rows=50)
+        with pytest.raises(EvaluationLimitError):
+            list(engine.query(parse_body("path(X, Y)")))
+
+    def test_tables_reused_across_queries(self, uni):
+        engine = TopDownEngine(uni)
+        list(engine.query(parse_body("honor(X)")))
+        tables_before = engine.table_count()
+        list(engine.query(parse_body("honor(X)")))
+        assert engine.table_count() == tables_before

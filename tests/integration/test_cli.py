@@ -1,0 +1,121 @@
+"""Integration tests for the dbk REPL (driven through injected streams)."""
+
+import io
+
+from repro.cli import main, render, run_repl
+from repro.datasets import university_kb
+from repro.session import Session
+
+
+def run_lines(*lines, kb=None):
+    session = Session(kb if kb is not None else university_kb())
+    stream = io.StringIO("\n".join(lines) + "\n")
+    out = io.StringIO()
+    run_repl(session, stream=stream, out=out)
+    return out.getvalue()
+
+
+class TestRepl:
+    def test_retrieve(self):
+        output = run_lines("retrieve honor(X) where enroll(X, databases)")
+        assert "ann" in output and "carol" in output
+
+    def test_describe(self):
+        output = run_lines("describe honor(X)")
+        assert "student(X, Y, Z) and (Z > 3.7)" in output
+
+    def test_definitions_accumulate(self):
+        output = run_lines(
+            "city(rome).",
+            "retrieve city(X)",
+        )
+        assert "rome" in output
+
+    def test_multiline_definition(self):
+        output = run_lines(
+            "big(X) <- city(X, P)",
+            "   and (P > 1000).",
+            "city(rome, 2800).",
+            "retrieve big(X)",
+        )
+        assert "rome" in output
+
+    def test_error_reported_not_fatal(self):
+        output = run_lines("describe student(X, Y, Z)", "retrieve honor(ann)")
+        assert "error:" in output
+        assert "yes" in output
+
+    def test_catalog_meta_command(self):
+        output = run_lines(".catalog")
+        assert "EDB" in output and "IDB" in output
+
+    def test_rules_meta_command(self):
+        output = run_lines(".rules")
+        assert "honor(X)" in output
+
+    def test_help(self):
+        output = run_lines(".help")
+        assert "describe" in output
+
+    def test_quit_stops_processing(self):
+        output = run_lines(".quit", "retrieve honor(X)")
+        assert "ann" not in output
+
+    def test_possibility_query(self):
+        output = run_lines(
+            "describe where student(X, Y, Z) and (Z < 3.5) and can_ta(X, U)"
+        )
+        assert "false" in output
+
+
+class TestRender:
+    def test_boolean_result(self):
+        session = Session(university_kb())
+        assert render(session.query("retrieve honor(ann)")) == "yes"
+        assert render(session.query("retrieve honor(hugo)")) == "no"
+
+    def test_wildcard_rendering(self):
+        session = Session(university_kb())
+        text = render(session.query("describe * where honor(X)"))
+        assert "[can_ta]" in text
+
+    def test_empty_wildcard(self):
+        session = Session(university_kb())
+        text = render(session.query("describe * where professor(P, D, N)"))
+        assert "nothing follows" in text
+
+
+class TestMain:
+    def test_dataset_flag_and_stdin(self, monkeypatch, capsys):
+        monkeypatch.setattr("sys.stdin", io.StringIO("retrieve honor(X)\n"))
+        assert main(["--dataset", "university"]) == 0
+        captured = capsys.readouterr()
+        assert "ann" in captured.out
+
+    def test_load_flag(self, tmp_path, monkeypatch, capsys):
+        defs = tmp_path / "defs.dbk"
+        defs.write_text("p(a).\nq(X) <- p(X).\n")
+        monkeypatch.setattr("sys.stdin", io.StringIO("retrieve q(X)\n"))
+        assert main(["--load", str(defs)]) == 0
+        captured = capsys.readouterr()
+        assert "loaded 2 definitions" in captured.out
+        assert "a" in captured.out
+
+
+class TestLoadMetaCommand:
+    def test_load_file_in_repl(self, tmp_path):
+        from repro.catalog.database import KnowledgeBase
+
+        defs = tmp_path / "defs.dbk"
+        defs.write_text("p(a).\nq(X) <- p(X).\n")
+        output = run_lines(
+            f".load {defs}",
+            "retrieve q(X)",
+            kb=KnowledgeBase(),
+        )
+        assert "loaded 2 definitions" in output
+        assert "a" in output
+
+    def test_load_missing_file_reports_error(self):
+        output = run_lines(".load /no/such/file.dbk")
+        assert "error:" in output

@@ -1,0 +1,108 @@
+"""Integration tests for the bundled datasets and generators."""
+
+from repro.engine import SemiNaiveEngine, retrieve
+from repro.datasets import (
+    chain_graph_kb,
+    hypothesis_of_size,
+    random_graph_kb,
+    rule_chain_kb,
+    rule_tree_kb,
+    scaled_university_kb,
+    wide_union_kb,
+)
+from repro.lang.parser import parse_atom, parse_body
+
+
+class TestUniversity:
+    def test_catalog_shape(self, uni):
+        assert len(uni.edb_predicates()) == 8
+        assert sorted(uni.idb_predicates()) == ["can_ta", "honor", "prior"]
+        assert uni.is_recursive("prior")
+
+    def test_every_paper_example_has_witnesses(self, uni):
+        assert retrieve(uni, parse_atom("honor(X)")).rows
+        assert retrieve(uni, parse_atom("can_ta(X, databases)")).rows
+        assert retrieve(uni, parse_atom("prior(databases, Y)")).rows
+
+    def test_can_ta_through_both_rules(self, uni):
+        rule1 = retrieve(
+            uni,
+            parse_atom("w(X)"),
+            parse_body(
+                "honor(X) and complete(X, databases, Z, U) and (U > 3.3) "
+                "and taught(V, databases, Z, W) and teach(V, databases)"
+            ),
+        )
+        rule2 = retrieve(
+            uni,
+            parse_atom("w(X)"),
+            parse_body("honor(X) and complete(X, Y, Z, 4.0)"),
+        )
+        assert rule1.rows and rule2.rows
+
+
+class TestRouting:
+    def test_reachability(self, routing):
+        assert retrieve(routing, parse_atom("reach(lax, jfk)")).boolean
+        assert not retrieve(routing, parse_atom("reach(jfk, lax)")).boolean
+
+    def test_symmetric_variant_closes_both_ways(self, symmetric_routing):
+        assert retrieve(symmetric_routing, parse_atom("trip(jfk, lax)")).boolean
+
+
+class TestEnterprise:
+    def test_bonus_pipeline(self, enterprise):
+        bonus = retrieve(enterprise, parse_atom("bonus_eligible(X)")).values()
+        assert "alice" in bonus
+        assert "emil" not in bonus
+
+    def test_chain_recursion(self, enterprise):
+        under_alice = set(retrieve(enterprise, parse_atom("chain(alice, Y)")).values())
+        assert {"bruno", "chen", "fatima", "george"} <= under_alice
+
+
+class TestGenerators:
+    def test_random_graph_deterministic(self):
+        left = random_graph_kb(10, 20, seed=1)
+        right = random_graph_kb(10, 20, seed=1)
+        assert set(left.facts("edge")) == set(right.facts("edge"))
+
+    def test_random_graph_edge_count(self):
+        kb = random_graph_kb(10, 20, seed=2)
+        assert len(kb.facts("edge")) == 20
+
+    def test_chain_graph_path_count(self):
+        kb = chain_graph_kb(4)
+        assert len(SemiNaiveEngine(kb).derived_relation("path")) == 10
+
+    def test_rule_chain_depth(self):
+        kb = rule_chain_kb(depth=5)
+        assert len(kb.rules()) == 5
+        result = retrieve(kb, parse_atom("c0(X)"))
+        assert result.rows
+
+    def test_rule_chain_describe_hypothesis(self):
+        from repro.core import describe
+        from repro.lang.parser import parse_body
+
+        kb = rule_chain_kb(depth=3)
+        (conjunct, *_rest) = hypothesis_of_size(1)
+        result = describe(kb, parse_atom("c0(X)"), parse_body(conjunct))
+        assert result.answers
+
+    def test_rule_tree_shape(self):
+        kb = rule_tree_kb(depth=2, fanout=2)
+        assert len(kb.rules()) == 3  # 1 root + 2 inner
+        assert retrieve(kb, parse_atom("t_0_0(X)")).values() == ["v0"]
+
+    def test_wide_union(self):
+        kb = wide_union_kb(breadth=6)
+        assert len(kb.rules_for("concept")) == 6
+        assert retrieve(kb, parse_atom("concept(X)")).values() == ["v0"]
+
+    def test_scaled_university_grows(self):
+        base = scaled_university_kb(0)
+        grown = scaled_university_kb(50)
+        assert grown.fact_count() > base.fact_count() + 50
+        # The paper's queries still run on the scaled instance.
+        assert retrieve(grown, parse_atom("honor(X)")).rows

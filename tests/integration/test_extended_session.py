@@ -1,0 +1,82 @@
+"""Integration tests for the extension statements through the Session."""
+
+from repro import Session
+from repro.engine.provenance import Explanation
+from repro.core.disjunction import DisjunctiveDescribeResult
+
+
+class TestExplainStatement:
+    def test_ground_explain(self, uni):
+        result = Session(uni).query("explain can_ta(bob, databases)")
+        assert isinstance(result, Explanation)
+        assert len(result) == 1
+        assert "stored fact" in str(result)
+
+    def test_underivable_explain(self, uni):
+        result = Session(uni).query("explain honor(hugo)")
+        assert not result
+        assert "not derivable" in str(result)
+
+    def test_open_explain(self, uni):
+        result = Session(uni).query("explain honor(X) where enroll(X, databases)")
+        assert len(result) == 3
+
+    def test_recursive_explain(self, uni):
+        result = Session(uni).query("explain prior(databases, programming)")
+        assert "prereq(datastructures, programming)" in str(result)
+
+
+class TestDisjunctionStatement:
+    def test_or_query(self, uni):
+        result = Session(uni).query(
+            "describe can_ta(X, Y) where teach(susan, Y) or teach(tom, Y)"
+        )
+        assert isinstance(result, DisjunctiveDescribeResult)
+        assert len(result.cases) == 2
+
+
+class TestNegationStatement:
+    def test_retrieve_not_through_session(self):
+        session = Session()
+        session.load(
+            """
+            person(ann, usa). person(bob, france).
+            visitor(X) <- person(X, C) and (C != usa).
+            """
+        )
+        result = session.query("retrieve person(X, C) where not visitor(X)")
+        assert result.values() == [("ann", "usa")]
+
+    def test_rule_with_not_through_session(self):
+        session = Session()
+        session.load(
+            """
+            employee(ann). employee(bob).
+            manager(ann).
+            worker(X) <- employee(X) and not manager(X).
+            """
+        )
+        result = session.query("retrieve worker(X)")
+        assert result.values() == ["bob"]
+
+
+class TestCliRendersExtensions:
+    def test_explain_in_repl(self, uni):
+        import io
+        from repro.cli import run_repl
+
+        stream = io.StringIO("explain honor(ann)\n")
+        out = io.StringIO()
+        run_repl(Session(uni), stream=stream, out=out)
+        assert "student(ann, math, 3.9)" in out.getvalue()
+
+    def test_or_in_repl(self, uni):
+        import io
+        from repro.cli import run_repl
+
+        stream = io.StringIO(
+            "describe can_ta(X, Y) where teach(susan, Y) or teach(tom, Y)\n"
+        )
+        out = io.StringIO()
+        run_repl(Session(uni), stream=stream, out=out)
+        assert "under every alternative" in out.getvalue()

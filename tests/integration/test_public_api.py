@@ -1,0 +1,47 @@
+"""The public package surface: everything advertised in __all__ works."""
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_py_typed_marker_ships(self):
+        import pathlib
+
+        package_dir = pathlib.Path(repro.__file__).parent
+        assert (package_dir / "py.typed").exists()
+
+    def test_readme_quickstart_verbatim(self):
+        """The README's quickstart code must actually run."""
+        session = repro.Session()
+        session.load(
+            """
+            student(ann, math, 3.9).
+            student(bob, cs, 3.4).
+            enroll(ann, databases).
+            honor(X) <- student(X, M, G) and (G > 3.7).
+            """
+        )
+        data = session.query("retrieve honor(X) where enroll(X, databases)")
+        assert data.values() == ["ann"]
+        knowledge = session.query("describe honor(X)")
+        assert str(knowledge) == "honor(X) <- student(X, M, G) and (G > 3.7)."
+        hypothetical = session.query(
+            "describe where student(X, M, G) and (G < 3.0) and honor(X)"
+        )
+        assert not hypothetical.possible
+
+    def test_facade_functions_cover_the_paper(self, uni):
+        from repro import describe, parse_atom, parse_body, retrieve
+
+        assert retrieve(uni, parse_atom("honor(X)")).rows
+        assert describe(uni, parse_atom("honor(X)")).answers
+        assert describe(
+            uni, parse_atom("prior(X, Y)"), parse_body("prior(databases, Y)")
+        ).answers

@@ -1,0 +1,89 @@
+"""Unit tests for the lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenType
+
+
+def types_of(source):
+    return [t.type for t in tokenize(source)][:-1]  # drop EOF
+
+
+def texts_of(source):
+    return [t.text for t in tokenize(source)][:-1]
+
+
+class TestBasicTokens:
+    def test_identifiers_vs_variables(self):
+        tokens = tokenize("student X Gpa _tmp ann")
+        kinds = [t.type for t in tokens][:-1]
+        assert kinds == [
+            TokenType.IDENT,
+            TokenType.VARIABLE,
+            TokenType.VARIABLE,
+            TokenType.VARIABLE,
+            TokenType.IDENT,
+        ]
+
+    def test_keywords(self):
+        assert types_of("retrieve describe where and not") == [TokenType.KEYWORD] * 5
+
+    def test_numbers(self):
+        assert texts_of("3 3.7 -2 -2.5") == ["3", "3.7", "-2", "-2.5"]
+        assert types_of("3.7") == [TokenType.NUMBER]
+
+    def test_period_vs_float(self):
+        assert types_of("p(a).") == [
+            TokenType.IDENT,
+            TokenType.LPAREN,
+            TokenType.IDENT,
+            TokenType.RPAREN,
+            TokenType.PERIOD,
+        ]
+
+    def test_strings(self):
+        tokens = tokenize("'hello world' \"two\"")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].text == "hello world"
+        assert tokens[1].text == "two"
+
+    def test_string_escapes(self):
+        assert tokenize(r"'don\'t'")[0].text == "don't"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_arrow_forms(self):
+        assert types_of("<-") == [TokenType.ARROW]
+        assert types_of(":-") == [TokenType.ARROW]
+
+    def test_comparison_operators(self):
+        assert texts_of("= != < <= > >=") == ["=", "!=", "<", "<=", ">", ">="]
+        assert set(types_of("= != < <= > >=")) == {TokenType.COMPARE_OP}
+
+    def test_star(self):
+        assert types_of("*") == [TokenType.STAR]
+
+
+class TestCommentsAndLayout:
+    def test_comments_stripped(self):
+        assert texts_of("p(a). % a comment\nq(b).") == [
+            "p", "(", "a", ")", ".", "q", "(", "b", ")", ".",
+        ]
+
+    def test_positions_tracked(self):
+        tokens = tokenize("p\n  q")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_eof_always_last(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+        assert tokenize("p")[-1].type is TokenType.EOF
+
+    def test_bad_character(self):
+        with pytest.raises(LexError) as error:
+            tokenize("p @ q")
+        assert error.value.column == 3

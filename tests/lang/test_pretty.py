@@ -1,0 +1,50 @@
+"""Unit tests for pretty printing."""
+
+from repro.lang.parser import parse_rule
+from repro.lang.pretty import format_bindings, format_rule, format_rules
+from repro.logic.terms import Constant, Variable
+
+
+class TestFormatRule:
+    def test_fact(self):
+        assert format_rule(parse_rule("p(a).")) == "p(a)."
+
+    def test_short_rule_single_line(self):
+        text = format_rule(parse_rule("honor(X) <- student(X, Y, Z) and (Z > 3.7)."))
+        assert text == "honor(X) <- student(X, Y, Z) and (Z > 3.7)."
+
+    def test_long_rule_wraps(self):
+        rule = parse_rule(
+            "can_ta(X, Y) <- honor(X) and complete(X, Y, Z, U) and (U > 3.3) "
+            "and taught(V, Y, Z, W) and teach(V, Y)."
+        )
+        text = format_rule(rule)
+        assert "\n" in text
+        assert text.endswith(".")
+
+    def test_indent(self):
+        assert format_rule(parse_rule("p(a)."), indent="  ") == "  p(a)."
+
+    def test_format_rules_one_per_line(self):
+        rules = [parse_rule("p(a)."), parse_rule("q(b).")]
+        assert format_rules(rules) == "p(a).\nq(b)."
+
+
+class TestFormatBindings:
+    def test_table_layout(self):
+        text = format_bindings(
+            [Variable("X")], [(Constant("ann"),), (Constant("bob"),)]
+        )
+        lines = text.splitlines()
+        assert lines[0].strip() == "X"
+        assert "ann" in lines[2]
+        assert "bob" in lines[3]
+
+    def test_boolean_rendering(self):
+        assert format_bindings([], [()]) == "yes"
+        assert format_bindings([], []) == "no"
+
+    def test_limit_truncates(self):
+        rows = [(Constant(i),) for i in range(10)]
+        text = format_bindings([Variable("N")], rows, limit=3)
+        assert "..." in text

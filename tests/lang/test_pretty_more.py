@@ -1,0 +1,28 @@
+"""Remaining pretty-printer helpers."""
+
+from repro.lang.parser import parse_body, parse_rule
+from repro.lang.pretty import format_conjunction_multiline, gloss_rule
+
+
+class TestGloss:
+    def test_fact_gloss(self):
+        assert gloss_rule(parse_rule("p(a).")) == "p(a) holds unconditionally."
+
+    def test_rule_gloss(self):
+        text = gloss_rule(parse_rule("honor(X) <- student(X, Y, Z) and (Z > 3.7)."))
+        assert text == "honor(X) holds when student(X, Y, Z) and (Z > 3.7)."
+
+
+class TestMultiline:
+    def test_one_conjunct_per_line(self):
+        formula = parse_body("p(X) and q(X) and (X > 1)")
+        lines = format_conjunction_multiline(formula).splitlines()
+        assert len(lines) == 3
+        assert lines[0].strip() == "p(X)"
+
+    def test_empty_formula(self):
+        assert format_conjunction_multiline(()).strip() == "true"
+
+    def test_custom_indent(self):
+        text = format_conjunction_multiline(parse_body("p(X)"), indent=">>")
+        assert text == ">>p(X)"

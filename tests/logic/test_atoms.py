@@ -1,0 +1,73 @@
+"""Unit tests for atomic formulas."""
+
+import pytest
+
+from repro.errors import LogicError
+from repro.logic.atoms import Atom, atoms_variables, comparison
+from repro.logic.terms import Constant, Variable
+
+
+class TestAtomBasics:
+    def test_construction_coerces_terms(self):
+        atom = Atom("enroll", ["X", "databases"])
+        assert atom.args == (Variable("X"), Constant("databases"))
+
+    def test_equality_and_hash(self):
+        assert Atom("p", ["X"]) == Atom("p", ["X"])
+        assert Atom("p", ["X"]) != Atom("p", ["Y"])
+        assert len({Atom("p", ["X"]), Atom("p", ["X"])}) == 1
+
+    def test_arity(self):
+        assert Atom("student", ["X", "Y", "Z"]).arity == 3
+        assert Atom("flag", []).arity == 0
+
+    def test_empty_predicate_rejected(self):
+        with pytest.raises(LogicError):
+            Atom("", ["X"])
+
+    def test_str_ordinary(self):
+        assert str(Atom("enroll", ["X", "databases"])) == "enroll(X, databases)"
+
+    def test_str_comparison_infix(self):
+        assert str(comparison("U", ">", 3.3)) == "(U > 3.3)"
+
+
+class TestAtomInspection:
+    def test_is_comparison(self):
+        assert comparison("X", "<=", 5).is_comparison()
+        assert not Atom("le", ["X", 5]).is_comparison()
+
+    def test_is_ground(self):
+        assert Atom("enroll", ["ann", "databases"]).is_ground()
+        assert not Atom("enroll", ["X", "databases"]).is_ground()
+
+    def test_variables_in_order_with_duplicates(self):
+        atom = Atom("p", ["X", "y", "X", "Z"])
+        assert atom.variables() == [Variable("X"), Variable("X"), Variable("Z")]
+
+    def test_variable_set(self):
+        assert Atom("p", ["X", "X"]).variable_set() == frozenset({Variable("X")})
+
+    def test_positions_of(self):
+        atom = Atom("p", ["X", "Y", "X"])
+        assert atom.positions_of(Variable("X")) == [0, 2]
+        assert atom.positions_of(Variable("Z")) == []
+
+    def test_is_typed(self):
+        assert Atom("p", ["X", "Y"]).is_typed()
+        assert not Atom("p", ["X", "X"]).is_typed()
+
+    def test_with_args_checks_arity(self):
+        atom = Atom("p", ["X", "Y"])
+        with pytest.raises(LogicError):
+            atom.with_args((Variable("X"),))
+
+
+class TestHelpers:
+    def test_comparison_rejects_unknown_operator(self):
+        with pytest.raises(LogicError):
+            comparison("X", "~", 3)
+
+    def test_atoms_variables(self):
+        atoms = [Atom("p", ["X", "a"]), Atom("q", ["Y", "X"])]
+        assert atoms_variables(atoms) == frozenset({Variable("X"), Variable("Y")})

@@ -1,0 +1,81 @@
+"""Unit tests for the built-in comparison predicates."""
+
+import pytest
+
+from repro.errors import LogicError
+from repro.logic.atoms import Atom, comparison
+from repro.logic.builtins import (
+    evaluate_comparison,
+    flip_comparison,
+    is_builtin_predicate,
+    negate_comparison,
+    negate_operator,
+)
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize(
+        "left, op, right, expected",
+        [
+            (3.9, ">", 3.7, True),
+            (3.7, ">", 3.7, False),
+            (3.7, ">=", 3.7, True),
+            (3, "<", 4, True),
+            (4, "<=", 3, False),
+            ("ann", "=", "ann", True),
+            ("ann", "!=", "bob", True),
+            ("abc", "<", "abd", True),
+            (3, "=", 3.0, True),
+        ],
+    )
+    def test_ground_evaluation(self, left, op, right, expected):
+        assert evaluate_comparison(comparison(left, op, right)) is expected
+
+    def test_non_ground_rejected(self):
+        with pytest.raises(LogicError):
+            evaluate_comparison(comparison("X", ">", 3))
+
+    def test_non_comparison_rejected(self):
+        with pytest.raises(LogicError):
+            evaluate_comparison(Atom("gt", [3, 2]))
+
+    def test_cross_type_order_rejected(self):
+        with pytest.raises(LogicError):
+            evaluate_comparison(comparison("ann", ">", 3))
+
+    def test_cross_type_equality_is_false(self):
+        assert evaluate_comparison(comparison("ann", "=", 3)) is False
+        assert evaluate_comparison(comparison("ann", "!=", 3)) is True
+
+
+class TestOperatorAlgebra:
+    @pytest.mark.parametrize(
+        "op, negated",
+        [("=", "!="), ("!=", "="), ("<", ">="), ("<=", ">"), (">", "<="), (">=", "<")],
+    )
+    def test_negation_table(self, op, negated):
+        assert negate_operator(op) == negated
+
+    def test_negation_is_involutive(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            assert negate_operator(negate_operator(op)) == op
+
+    def test_negate_comparison_atom(self):
+        assert negate_comparison(comparison("X", ">", 3)) == comparison("X", "<=", 3)
+
+    def test_flip_swaps_arguments(self):
+        flipped = flip_comparison(comparison("X", "<", 3))
+        assert flipped == comparison(3, ">", "X")
+
+    def test_flip_preserves_meaning_on_ground_atoms(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            atom = comparison(2, op, 5)
+            assert evaluate_comparison(atom) == evaluate_comparison(flip_comparison(atom))
+
+    def test_is_builtin_predicate(self):
+        assert is_builtin_predicate(">=")
+        assert not is_builtin_predicate("ge")
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(LogicError):
+            negate_operator("~")

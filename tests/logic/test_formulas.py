@@ -1,0 +1,40 @@
+"""Unit tests for positive-formula helpers."""
+
+from repro.lang.parser import parse_body
+from repro.logic.formulas import (
+    dedupe,
+    format_conjunction,
+    formula_variables,
+    split_comparisons,
+    substitute,
+)
+from repro.logic.substitution import substitution_from_pairs
+from repro.logic.terms import Variable
+
+
+class TestFormulas:
+    def test_split_comparisons(self):
+        formula = parse_body("student(X, Y, Z) and (Z > 3.7) and enroll(X, C)")
+        ordinary, comparisons = split_comparisons(formula)
+        assert [a.predicate for a in ordinary] == ["student", "enroll"]
+        assert [a.predicate for a in comparisons] == [">"]
+
+    def test_formula_variables(self):
+        formula = parse_body("p(X, a) and (Y > 3)")
+        assert formula_variables(formula) == frozenset({Variable("X"), Variable("Y")})
+
+    def test_substitute(self):
+        formula = parse_body("p(X) and q(X, Y)")
+        theta = substitution_from_pairs([("X", "a")])
+        assert substitute(formula, theta) == parse_body("p(a) and q(a, Y)")
+
+    def test_dedupe_keeps_order(self):
+        formula = parse_body("p(X) and q(X) and p(X)")
+        assert dedupe(formula) == parse_body("p(X) and q(X)")
+
+    def test_format_empty_is_true(self):
+        assert format_conjunction(()) == "true"
+
+    def test_format_joins_with_and(self):
+        formula = parse_body("p(X) and (X > 3)")
+        assert format_conjunction(formula) == "p(X) and (X > 3)"

@@ -1,0 +1,44 @@
+"""The ComparisonSystem incremental API and Bound helper."""
+
+import pytest
+
+from repro.errors import LogicError
+from repro.lang.parser import parse_atom
+from repro.logic.atoms import Atom
+from repro.logic.intervals import Bound, ComparisonSystem
+
+
+class TestComparisonSystem:
+    def test_incremental_add(self):
+        system = ComparisonSystem()
+        system.add(parse_atom("(X > 3)"))
+        assert system.is_satisfiable()
+        system.add(parse_atom("(X < 2)"))
+        assert not system.is_satisfiable()
+
+    def test_atoms_accessor_preserves_order(self):
+        system = ComparisonSystem([parse_atom("(X > 3)"), parse_atom("(X < 9)")])
+        assert [str(a) for a in system.atoms()] == ["(X > 3)", "(X < 9)"]
+
+    def test_rejects_non_comparison(self):
+        with pytest.raises(LogicError):
+            ComparisonSystem([parse_atom("p(X)")])
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(LogicError):
+            ComparisonSystem([Atom("=", ["X"])])
+
+    def test_decision_is_repeatable(self):
+        system = ComparisonSystem([parse_atom("(X > 3)"), parse_atom("(X < 5)")])
+        assert system.is_satisfiable()
+        assert system.is_satisfiable()  # no hidden state corruption
+
+
+class TestBound:
+    def test_sort_of_numbers_and_strings(self):
+        assert Bound(3.5, strict=False).sort() == "num"
+        assert Bound("ann", strict=True).sort() == "str"
+
+    def test_bounds_are_value_objects(self):
+        assert Bound(1, False) == Bound(1, False)
+        assert Bound(1, False) != Bound(1, True)

@@ -1,0 +1,55 @@
+"""Unit tests for fresh variable renaming."""
+
+from repro.lang.parser import parse_rule
+from repro.logic.atoms import Atom
+from repro.logic.rename import VariableRenamer
+from repro.logic.terms import Variable
+from repro.logic.unify import variant
+
+
+class TestVariableRenamer:
+    def test_fresh_variables_are_distinct(self):
+        renamer = VariableRenamer()
+        assert renamer.fresh() != renamer.fresh()
+
+    def test_fresh_is_marked_fresh(self):
+        assert VariableRenamer().fresh("X").is_fresh()
+
+    def test_fresh_like_keeps_base_name(self):
+        renamer = VariableRenamer()
+        fresh = renamer.fresh_like(Variable("Gpa"))
+        assert fresh.base_name() == "Gpa"
+
+    def test_fresh_like_fresh_variable_does_not_stack_suffixes(self):
+        renamer = VariableRenamer()
+        once = renamer.fresh_like(Variable("X"))
+        twice = renamer.fresh_like(once)
+        assert twice.base_name() == "X"
+
+    def test_rename_rule_is_variant(self):
+        renamer = VariableRenamer()
+        rule = parse_rule("honor(X) <- student(X, Y, Z) and (Z > 3.7).")
+        renamed = renamer.rename_rule(rule)
+        assert renamed.head != rule.head
+        assert variant(renamed.head, rule.head)
+        assert len(renamed.variables()) == len(rule.variables())
+
+    def test_rename_rule_consistent_within_rule(self):
+        renamer = VariableRenamer()
+        rule = parse_rule("p(X) <- q(X, Y) and r(X, Y).")
+        renamed = renamer.rename_rule(rule)
+        assert renamed.body[0].args[0] == renamed.head.args[0]
+        assert renamed.body[0].args[1] == renamed.body[1].args[1]
+
+    def test_two_renamings_never_collide(self):
+        renamer = VariableRenamer()
+        rule = parse_rule("p(X) <- q(X).")
+        first = renamer.rename_rule(rule)
+        second = renamer.rename_rule(rule)
+        assert first.variables() & second.variables() == frozenset()
+
+    def test_rename_atoms_shares_renaming(self):
+        renamer = VariableRenamer()
+        atoms = renamer.rename_atoms([Atom("p", ["X"]), Atom("q", ["X"])])
+        assert atoms[0].args[0] == atoms[1].args[0]
+        assert atoms[0].args[0] != Variable("X")

@@ -1,0 +1,101 @@
+"""Unit tests for typing/linearity/permutation analysis of rules."""
+
+import pytest
+
+from repro.lang.parser import parse_rule
+from repro.logic.atoms import Atom
+from repro.logic.typing import (
+    atoms_are_typed,
+    count_body_occurrences,
+    is_permutation_rule,
+    is_strongly_linear,
+    is_typed_with_respect_to,
+    occurrences_of,
+    permutation_order,
+)
+
+
+class TestTyped:
+    def test_paper_prior_rule_is_typed(self):
+        rule = parse_rule("prior(X, Y) <- prereq(X, Z) and prior(Z, Y).")
+        assert is_typed_with_respect_to(rule, "prior")
+
+    def test_paper_untyped_example_shared_position(self):
+        # "a rule that includes the occurrences p(X, Y) and p(Y, Z) is not
+        # typed with respect to p"
+        rule = parse_rule("p(X, Z) <- p(X, Y) and p(Y, Z).")
+        assert not is_typed_with_respect_to(rule, "p")
+
+    def test_paper_untyped_example_repeated_variable(self):
+        # "a rule that includes the occurrence q(X, X) is not typed w.r.t. q"
+        rule = parse_rule("r(X) <- q(X, X).")
+        assert not is_typed_with_respect_to(rule, "q")
+
+    def test_typed_wrt_other_predicate(self):
+        rule = parse_rule("p(X, Z) <- p(X, Y) and p(Y, Z).")
+        assert is_typed_with_respect_to(rule, "q")  # vacuously
+
+    def test_atoms_are_typed(self):
+        assert atoms_are_typed([Atom("p", ["X", "Y"]), Atom("p", ["Z", "W"])])
+        assert not atoms_are_typed([Atom("p", ["X", "Y"]), Atom("p", ["Y", "Z"])])
+        assert not atoms_are_typed([Atom("p", ["X", "X"])])
+
+    def test_constants_do_not_affect_typing(self):
+        assert atoms_are_typed([Atom("p", ["a", "X"]), Atom("p", ["X", "a"])]) is False
+        assert atoms_are_typed([Atom("p", ["a", "X"]), Atom("p", ["b", "Y"])])
+
+
+class TestLinearity:
+    def test_strongly_linear(self):
+        rule = parse_rule("prior(X, Y) <- prereq(X, Z) and prior(Z, Y).")
+        assert is_strongly_linear(rule)
+
+    def test_not_strongly_linear(self):
+        rule = parse_rule("p(X, Y) <- p(X, Z) and p(Z, Y).")
+        assert not is_strongly_linear(rule)
+
+    def test_count_occurrences(self):
+        rule = parse_rule("p(X, Y) <- p(X, Z) and q(Z) and p(Z, Y).")
+        assert count_body_occurrences(rule, "p") == 2
+        assert count_body_occurrences(rule, "q") == 1
+
+    def test_occurrences_include_head(self):
+        rule = parse_rule("p(X, Y) <- p(X, Z) and q(Z).")
+        assert len(occurrences_of(rule, "p")) == 2
+
+
+class TestPermutationRules:
+    def test_symmetry_rule(self):
+        rule = parse_rule("link(X, Y) <- link(Y, X).")
+        assert is_permutation_rule(rule)
+        assert permutation_order(rule) == 2
+
+    def test_identity_is_order_one(self):
+        rule = parse_rule("p(X, Y) <- p(X, Y).")
+        assert is_permutation_rule(rule)
+        assert permutation_order(rule) == 1
+
+    def test_three_cycle(self):
+        rule = parse_rule("rot(X, Y, Z) <- rot(Y, Z, X).")
+        assert is_permutation_rule(rule)
+        assert permutation_order(rule) == 3
+
+    def test_rejects_extra_body_atoms(self):
+        rule = parse_rule("p(X, Y) <- p(Y, X) and q(X).")
+        assert not is_permutation_rule(rule)
+
+    def test_rejects_repeated_variables(self):
+        rule = parse_rule("p(X, X) <- p(X, X).")
+        assert not is_permutation_rule(rule)
+
+    def test_rejects_constants(self):
+        rule = parse_rule("p(X, a) <- p(a, X).")
+        assert not is_permutation_rule(rule)
+
+    def test_rejects_different_variable_sets(self):
+        rule = parse_rule("p(X, Y) <- p(Y, Z).")
+        assert not is_permutation_rule(rule)
+
+    def test_order_on_non_permutation_raises(self):
+        with pytest.raises(ValueError):
+            permutation_order(parse_rule("p(X) <- q(X)."))

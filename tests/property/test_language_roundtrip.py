@@ -1,0 +1,72 @@
+"""Printer/parser round-trip properties.
+
+The language is the system's serialisation format (persistence stores rules
+as text), so ``parse(str(x)) == x`` must hold for every construct the
+printer can emit.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.parser import parse_rule, parse_statement
+from repro.lang.ast import RetrieveStatement, RuleStatement
+from repro.logic.atoms import Atom, comparison
+from repro.logic.clauses import Rule
+from repro.logic.terms import Constant, Variable
+
+variables = st.sampled_from([Variable(n) for n in ("X", "Y", "Z", "Gpa")])
+constants = st.one_of(
+    st.sampled_from([Constant(v) for v in ("ann", "databases", "f88")]),
+    st.integers(min_value=-99, max_value=99).map(Constant),
+    st.floats(
+        min_value=-99, max_value=99, allow_nan=False, allow_infinity=False
+    ).map(lambda f: Constant(round(f, 2))),
+)
+terms = st.one_of(variables, constants)
+predicates = st.sampled_from(["student", "enroll", "p", "q2", "long_name"])
+
+
+@st.composite
+def atoms(draw):
+    return Atom(draw(predicates), [draw(terms) for _ in range(draw(st.integers(0, 4)))])
+
+
+@st.composite
+def comparisons(draw):
+    op = draw(st.sampled_from(["=", "!=", "<", "<=", ">", ">="]))
+    return comparison(draw(terms), op, draw(terms))
+
+
+@st.composite
+def rules(draw):
+    body = draw(st.lists(st.one_of(atoms(), comparisons()), max_size=4))
+    negated = draw(st.lists(atoms(), max_size=2))
+    head = draw(atoms())
+    return Rule(head, body, negated)
+
+
+class TestRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(rules())
+    def test_rules_round_trip(self, rule):
+        assert parse_rule(str(rule)) == rule
+
+    @settings(max_examples=60, deadline=None)
+    @given(atoms(), st.lists(st.one_of(atoms(), comparisons()), max_size=3))
+    def test_retrieve_round_trips(self, subject, qualifier):
+        statement = RetrieveStatement(subject, tuple(qualifier))
+        parsed = parse_statement(str(statement))
+        assert parsed == statement
+
+    @settings(max_examples=60, deadline=None)
+    @given(rules())
+    def test_rule_statement_round_trips(self, rule):
+        statement = RuleStatement(rule)
+        assert parse_statement(str(statement)) == statement
+
+    @settings(max_examples=60, deadline=None)
+    @given(atoms())
+    def test_atom_round_trips(self, atom):
+        from repro.lang.parser import parse_atom
+
+        assert parse_atom(str(atom)) == atom

@@ -1,0 +1,69 @@
+"""The exception hierarchy: every error is a ReproError with useful text."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            errors.LogicError,
+            errors.UnificationError,
+            errors.TypingError,
+            errors.CatalogError,
+            errors.SchemaError,
+            errors.ArityError,
+            errors.DuplicatePredicateError,
+            errors.UnknownPredicateError,
+            errors.IntegrityError,
+            errors.LanguageError,
+            errors.EngineError,
+            errors.SafetyError,
+            errors.EvaluationLimitError,
+            errors.CoreError,
+            errors.NonRecursiveSubjectRequired,
+            errors.TransformError,
+        ],
+    )
+    def test_everything_is_a_repro_error(self, subclass):
+        assert issubclass(subclass, errors.ReproError)
+
+    def test_arity_error_is_schema_error(self):
+        assert issubclass(errors.ArityError, errors.SchemaError)
+
+    def test_catching_one_type_suffices(self, uni):
+        from repro import Session
+
+        with pytest.raises(errors.ReproError):
+            Session(uni).query("describe student(X, Y, Z)")
+        with pytest.raises(errors.ReproError):
+            Session(uni).query("retrieve honor(X) where ((")
+
+
+class TestPositions:
+    def test_lex_error_carries_position(self):
+        error = errors.LexError("bad character", line=3, column=7)
+        assert error.line == 3 and error.column == 7
+        assert "line 3" in str(error) and "column 7" in str(error)
+
+    def test_parse_error_carries_position(self):
+        error = errors.ParseError("expected term", line=1, column=12)
+        assert "(line 1, column 12)" in str(error)
+
+
+class TestBudgetError:
+    def test_default_message(self):
+        error = errors.SearchBudgetExceeded(5000)
+        assert "5000 steps" in str(error)
+        assert error.steps == 5000
+        assert error.answers_so_far == []
+
+    def test_custom_reason(self):
+        error = errors.SearchBudgetExceeded(42, reason="depth bound hit")
+        assert str(error) == "depth bound hit"
+
+    def test_partial_answers_carried(self):
+        error = errors.SearchBudgetExceeded(10, answers_so_far=["a"])
+        assert error.answers_so_far == ["a"]
