@@ -1,0 +1,186 @@
+"""Headless benchmark runner: machine-readable engine perf trajectory.
+
+Runs the ``bench_engines`` / ``bench_recursive`` / ``bench_retrieve``
+scenario shapes without pytest and writes ``BENCH_engine.json`` —
+scenario -> median wall-time, fact/row counts, executor used — so perf can
+be tracked across PRs.  Every bottom-up scenario runs under both executors
+(``batch`` hash joins vs the ``nested`` tuple-at-a-time reference), and the
+paired speedups are reported alongside.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py            # default tier
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --tier smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.engine import retrieve
+from repro.engine.plan import EXECUTORS
+from repro.engine.seminaive import SemiNaiveEngine
+from repro.datasets import (
+    chain_graph_kb,
+    component_graph_kb,
+    random_graph_kb,
+    scaled_university_kb,
+    university_kb,
+)
+from repro.lang.parser import parse_atom, parse_body
+
+#: Workload sizes per tier: smoke keeps CI fast, default is the tracked tier.
+TIERS = {
+    "smoke": {
+        "chain_length": 30,
+        "components": 5,
+        "component_size": 6,
+        "graph_nodes": 20,
+        "graph_edges": 40,
+        "students": 100,
+        "repeats": 3,
+    },
+    "default": {
+        "chain_length": 120,
+        "components": 20,
+        "component_size": 10,
+        "graph_nodes": 60,
+        "graph_edges": 120,
+        "students": 400,
+        "repeats": 5,
+    },
+}
+
+
+def _materialise(make_kb, predicate):
+    """A runner timing one full bottom-up materialisation."""
+
+    def run(executor):
+        kb = make_kb()
+        start = time.perf_counter()
+        relation = SemiNaiveEngine(kb, executor=executor).derived_relation(predicate)
+        return time.perf_counter() - start, len(relation)
+
+    return run
+
+
+def _retrieve(make_kb, subject, qualifier=()):
+    """A runner timing one retrieve query (engine built per call)."""
+
+    def run(executor):
+        kb = make_kb()
+        start = time.perf_counter()
+        result = retrieve(kb, subject, qualifier, executor=executor)
+        return time.perf_counter() - start, len(result)
+
+    return run
+
+
+def scenarios(sizes):
+    """Name -> runner; each runner takes an executor and returns (s, count)."""
+    return {
+        "recursive/chain": _materialise(
+            lambda: chain_graph_kb(sizes["chain_length"]), "path"
+        ),
+        "recursive/component": _materialise(
+            lambda: component_graph_kb(
+                components=sizes["components"], size=sizes["component_size"], seed=3
+            ),
+            "path",
+        ),
+        "recursive/random_graph": _materialise(
+            lambda: random_graph_kb(
+                nodes=sizes["graph_nodes"], edges=sizes["graph_edges"], seed=13
+            ),
+            "path",
+        ),
+        "engines/full_scan": _retrieve(
+            lambda: random_graph_kb(
+                nodes=sizes["graph_nodes"], edges=sizes["graph_edges"], seed=13
+            ),
+            parse_atom("path(X, Y)"),
+        ),
+        "engines/point_lookup": _retrieve(
+            lambda: scaled_university_kb(sizes["students"], seed=11),
+            parse_atom("can_ta(bob, databases)"),
+        ),
+        "retrieve/e1": _retrieve(
+            lambda: university_kb(),
+            parse_atom("honor(X)"),
+            parse_body("enroll(X, databases)"),
+        ),
+        "retrieve/e2": _retrieve(
+            lambda: university_kb(),
+            parse_atom("answer(X)"),
+            parse_body(
+                "can_ta(X, databases) and student(X, math, V) and (V > 3.7)"
+            ),
+        ),
+    }
+
+
+def run_tier(tier: str, repeats: int | None = None) -> dict:
+    sizes = TIERS[tier]
+    repeats = repeats or sizes["repeats"]
+    results: dict[str, dict] = {}
+    speedups: dict[str, float] = {}
+    for name, runner in scenarios(sizes).items():
+        medians: dict[str, float] = {}
+        for executor in EXECUTORS:
+            times = []
+            count = 0
+            for _ in range(repeats):
+                elapsed, count = runner(executor)
+                times.append(elapsed)
+            medians[executor] = statistics.median(times)
+            results[f"{name}[{executor}]"] = {
+                "median_s": round(medians[executor], 6),
+                "facts": count,
+                "executor": executor,
+            }
+        if medians["batch"] > 0:
+            speedups[name] = round(medians["nested"] / medians["batch"], 2)
+    return {
+        "meta": {
+            "tier": tier,
+            "repeats": repeats,
+            "unit": "seconds (median wall-time)",
+            "executors": list(EXECUTORS),
+        },
+        "scenarios": results,
+        "speedups": speedups,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tier", choices=sorted(TIERS), default="default")
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_engine.json",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats is not None and args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+
+    report = run_tier(args.tier, args.repeats)
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    for name, entry in sorted(report["scenarios"].items()):
+        print(f"{name:40s} {entry['median_s']:.4f}s  ({entry['facts']} facts)")
+    print()
+    for name, factor in sorted(report["speedups"].items()):
+        print(f"{name:40s} batch is {factor:.2f}x the nested executor")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,7 +29,14 @@ class Relation:
             raise CatalogError(f"relation arity must be non-negative, got {arity}")
         self.arity = arity
         self._rows: dict[Row, None] = {}
-        self._indexes: dict[int, dict[Constant, list[Row]]] = {}
+        #: Index buckets are insertion-ordered ``dict[Row, None]`` sets:
+        #: deterministic iteration like a list, O(1) delete unlike one.
+        self._indexes: dict[int, dict[Constant, dict[Row, None]]] = {}
+        #: Mutation counter; memoized statistics and external caches (the
+        #: batch executor's hash tables) are valid while it is unchanged.
+        self._version = 0
+        #: Memoized per-column distinct counts: column -> (version, count).
+        self._stats: dict[int, tuple[int, int]] = {}
         for row in rows:
             self.insert(row)
 
@@ -52,8 +59,9 @@ class Relation:
         if coerced in self._rows:
             return False
         self._rows[coerced] = None
+        self._version += 1
         for column, index in self._indexes.items():
-            index.setdefault(coerced[column], []).append(coerced)
+            index.setdefault(coerced[column], {})[coerced] = None
         return True
 
     def insert_many(self, rows: Iterable[Sequence[object]]) -> int:
@@ -61,15 +69,19 @@ class Relation:
         return sum(1 for row in rows if self.insert(row))
 
     def delete(self, row: Sequence[object]) -> bool:
-        """Delete a row; returns ``False`` if it was absent."""
+        """Delete a row; returns ``False`` if it was absent.
+
+        O(1) per maintained index: buckets are hash sets, not lists.
+        """
         coerced = self._coerce(row)
         if coerced not in self._rows:
             return False
         del self._rows[coerced]
+        self._version += 1
         for column, index in self._indexes.items():
             bucket = index.get(coerced[column])
             if bucket is not None:
-                bucket.remove(coerced)
+                bucket.pop(coerced, None)
                 if not bucket:
                     del index[coerced[column]]
         return True
@@ -78,8 +90,20 @@ class Relation:
         """Remove every row."""
         self._rows.clear()
         self._indexes.clear()
+        self._stats.clear()
+        self._version += 1
 
     # -- access ---------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: changes iff the row set changed.
+
+        External caches keyed on ``(relation, version)`` — memoized
+        statistics, the batch executor's hash tables — stay valid exactly
+        while the version is unchanged.
+        """
+        return self._version
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -100,11 +124,11 @@ class Relation:
         """All rows, in insertion order."""
         return list(self._rows)
 
-    def _index_for(self, column: int) -> dict[Constant, list[Row]]:
+    def _index_for(self, column: int) -> dict[Constant, dict[Row, None]]:
         if column not in self._indexes:
-            index: dict[Constant, list[Row]] = {}
+            index: dict[Constant, dict[Row, None]] = {}
             for row in self._rows:
-                index.setdefault(row[column], []).append(row)
+                index.setdefault(row[column], {})[row] = None
             self._indexes[column] = index
         return self._indexes[column]
 
@@ -141,10 +165,23 @@ class Relation:
                 yield row
 
     def distinct_count(self, column: int) -> int:
-        """Number of distinct values in a column (builds its index)."""
+        """Number of distinct values in a column.
+
+        O(1) when the column's index exists; otherwise computed once and
+        memoized until the next mutation — the planner can ask for
+        statistics without forcing an index build.
+        """
         if not 0 <= column < self.arity:
             raise ArityError(f"column {column} out of range for arity {self.arity}")
-        return len(self._index_for(column))
+        index = self._indexes.get(column)
+        if index is not None:
+            return len(index)
+        cached = self._stats.get(column)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        count = len({row[column] for row in self._rows})
+        self._stats[column] = (self._version, count)
+        return count
 
     def copy(self) -> "Relation":
         """An independent copy (indexes rebuilt lazily)."""

@@ -2,7 +2,10 @@
 
 Two interchangeable engines — semi-naive bottom-up and top-down with
 call-pattern tabling — behind one public API (:func:`retrieve`,
-:func:`evaluate_conjunction`)."""
+:func:`evaluate_conjunction`).  The bottom-up engine offers two executors
+(the ``executor`` knob): the set-at-a-time hash-join executor of
+:mod:`repro.engine.plan` (default) and the tuple-at-a-time nested-loop
+reference executor of :mod:`repro.engine.joins`."""
 
 from repro.engine.evaluate import (
     ENGINES,
@@ -10,6 +13,13 @@ from repro.engine.evaluate import (
     derivable,
     evaluate_conjunction,
     retrieve,
+)
+from repro.engine.plan import (
+    EXECUTORS,
+    ConjunctionPlan,
+    RulePlan,
+    compile_conjunction,
+    compile_rule,
 )
 from repro.engine.incremental import MaterializedDatabase
 from repro.engine.magic import MagicProgram, magic_conjunction, magic_rewrite
@@ -26,6 +36,11 @@ from repro.engine.topdown import TopDownEngine
 
 __all__ = [
     "ENGINES",
+    "EXECUTORS",
+    "ConjunctionPlan",
+    "RulePlan",
+    "compile_conjunction",
+    "compile_rule",
     "RetrieveResult",
     "derivable",
     "evaluate_conjunction",

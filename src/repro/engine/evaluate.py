@@ -16,6 +16,7 @@ from repro.errors import EngineError, SafetyError
 from repro.catalog.database import KnowledgeBase
 from repro.catalog.relation import Row
 from repro.engine.joins import bind_row, join_conjunction, relation_cost_estimator
+from repro.engine.plan import EXECUTORS, check_executor, compile_conjunction
 from repro.engine.seminaive import SemiNaiveEngine
 from repro.engine.topdown import TopDownEngine
 from repro.logic.atoms import Atom, atoms_variables
@@ -82,13 +83,20 @@ def evaluate_conjunction(
     engine: str = "seminaive",
     max_derived_facts: int | None = None,
     negated: Sequence[Atom] = (),
+    executor: str = "batch",
 ) -> Iterator[Substitution]:
     """Enumerate substitutions satisfying a conjunction over the database.
 
     ``negated`` conjuncts filter solutions by absence (closed world); their
-    variables must be bound by the positive conjuncts.
+    variables must be bound by the positive conjuncts.  ``executor``
+    selects the bottom-up execution model: ``"batch"`` compiles the
+    conjunction (and the rules under it) into set-at-a-time hash-join
+    plans, ``"nested"`` uses the tuple-at-a-time reference executor.  Only
+    the seminaive engine honours the knob; topdown and magic are
+    tuple-at-a-time by construction.
     """
     _check_engine(engine)
+    check_executor(executor)
     if engine == "magic":
         from repro.engine.magic import magic_conjunction
 
@@ -123,13 +131,24 @@ def evaluate_conjunction(
         a.predicate for a in conjuncts if not a.is_comparison() and kb.is_idb(a.predicate)
     }
     negated_predicates = {a.predicate for a in negated if kb.is_idb(a.predicate)}
-    bottom_up = SemiNaiveEngine(kb, max_derived_facts=max_derived_facts)
+    bottom_up = SemiNaiveEngine(kb, max_derived_facts=max_derived_facts, executor=executor)
     derived = bottom_up.evaluate(sorted(positive_predicates | negated_predicates))
 
     def relation_view(predicate: str):
         if kb.is_edb(predicate):
             return kb.relation(predicate)
         return derived.get(predicate)
+
+    if executor == "batch":
+        # The query conjunction itself runs set-at-a-time too: compile it
+        # (negated conjuncts become anti-join probes) and adapt the binding
+        # batch back into substitutions at the boundary.
+        estimate = relation_cost_estimator(relation_view)
+        plan = compile_conjunction(conjuncts, negated, estimate=estimate)
+        schema = plan.schema
+        for binding in plan.execute(relation_view):
+            yield Substitution(dict(zip(schema, binding)))
+        return
 
     def resolver(atom: Atom, theta: Substitution) -> Iterator[Substitution]:
         relation = relation_view(atom.predicate)
@@ -166,6 +185,7 @@ def retrieve(
     engine: str = "seminaive",
     max_derived_facts: int | None = None,
     negated_qualifier: Sequence[Atom] = (),
+    executor: str = "batch",
 ) -> RetrieveResult:
     """Evaluate a data query ``retrieve subject where qualifier``.
 
@@ -174,9 +194,11 @@ def retrieve(
     qualifier, so its variables must all occur in the qualifier.
     ``negated_qualifier`` conjuncts filter by absence ("foreign students who
     are not married"); their variables must be bound by the subject or the
-    positive qualifier.
+    positive qualifier.  ``executor`` selects the bottom-up execution model
+    (see :func:`evaluate_conjunction`).
     """
     _check_engine(engine)
+    check_executor(executor)
     if subject.is_comparison():
         raise EngineError("the subject of retrieve may not be a comparison")
 
@@ -207,6 +229,7 @@ def retrieve(
         engine=engine,
         max_derived_facts=max_derived_facts,
         negated=tuple(negated_qualifier),
+        executor=executor,
     ):
         values = []
         for variable in free_vars:

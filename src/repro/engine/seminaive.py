@@ -8,6 +8,16 @@ position at a time, so no derivation is recomputed.
 
 Evaluation is *relevance-restricted*: only predicates the query (transitively)
 depends on are materialised.
+
+Two executors drive rule bodies (the ``executor`` knob):
+
+* ``"batch"`` (default) — the set-at-a-time hash-join executor of
+  :mod:`repro.engine.plan`: each rule body is compiled once per
+  ``(rule, delta-position)`` into a physical plan, cached for the lifetime
+  of the stratum evaluation, and executed over whole relations;
+* ``"nested"`` — the tuple-at-a-time nested-loop reference executor of
+  :mod:`repro.engine.joins`; the join order is still computed once per
+  ``(rule, delta-position)`` rather than on every delta iteration.
 """
 
 from __future__ import annotations
@@ -17,7 +27,8 @@ from typing import Iterator, Sequence
 from repro.errors import EvaluationLimitError, SafetyError
 from repro.catalog.database import KnowledgeBase
 from repro.catalog.relation import Relation, Row
-from repro.engine.joins import bind_row, join_conjunction, relation_cost_estimator
+from repro.engine.joins import bind_row, join_conjunction, order_conjuncts, relation_cost_estimator
+from repro.engine.plan import RulePlan, check_executor, compile_rule
 from repro.engine.safety import check_rule_safety
 from repro.logic.atoms import Atom
 from repro.logic.clauses import Rule
@@ -38,14 +49,28 @@ class SemiNaiveEngine:
     max_derived_facts:
         Optional budget; exceeding it raises
         :class:`~repro.errors.EvaluationLimitError`.
+    executor:
+        ``"batch"`` for the set-at-a-time hash-join executor (default),
+        ``"nested"`` for the tuple-at-a-time reference executor.
     """
 
-    def __init__(self, kb: KnowledgeBase, max_derived_facts: int | None = None) -> None:
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        max_derived_facts: int | None = None,
+        executor: str = "batch",
+    ) -> None:
+        check_executor(executor)
         self._kb = kb
         self._max_derived = max_derived_facts
+        self._executor = executor
         self._derived: dict[str, Relation] = {}
         self._delta: dict[str, Relation] = {}
         self._evaluated: set[str] = set()
+        #: Per-stratum cache: (rule index, delta position) -> compiled plan
+        #: (batch executor) or pre-ordered body (nested executor).
+        self._plans: dict[tuple[int, int], RulePlan] = {}
+        self._orders: dict[tuple[int, int], list[Atom]] = {}
 
     # -- public API ---------------------------------------------------------------
 
@@ -81,6 +106,11 @@ class SemiNaiveEngine:
     def fact_count(self) -> int:
         """Total number of derived facts materialised so far."""
         return sum(len(r) for r in self._derived.values())
+
+    @property
+    def executor(self) -> str:
+        """The executor this engine evaluates rule bodies with."""
+        return self._executor
 
     # -- internals -------------------------------------------------------------------
 
@@ -140,17 +170,31 @@ class SemiNaiveEngine:
                 return False
         return True
 
-    def _fire_rule(self, rule: Rule) -> Iterator[Row]:
+    def _fire_rule(self, rule: Rule, plan_key: tuple[int, int]) -> list[Row]:
         """All head rows derivable from one rule under current relations.
 
-        The join order is cardinality-aware: current relation sizes and
-        per-column distinct counts drive the greedy ordering.
+        The join order is cardinality-aware and computed once per
+        ``(rule, delta-position)`` for the stratum; with the batch executor
+        the whole body runs as cached-plan hash joins.
         """
-        estimate = relation_cost_estimator(self._relation_view)
-        for theta in join_conjunction(self._resolver, rule.body, estimate=estimate):
+        if self._executor == "batch":
+            plan = self._plans.get(plan_key)
+            if plan is None:
+                estimate = relation_cost_estimator(self._relation_view)
+                plan = compile_rule(rule, estimate=estimate)
+                self._plans[plan_key] = plan
+            return plan.execute(self._relation_view)
+        ordered = self._orders.get(plan_key)
+        if ordered is None:
+            estimate = relation_cost_estimator(self._relation_view)
+            ordered = order_conjuncts(rule.body, estimate=estimate)
+            self._orders[plan_key] = ordered
+        rows: list[Row] = []
+        for theta in join_conjunction(self._resolver, ordered, reorder=False):
             if rule.negated and not self._negatives_absent(rule, theta):
                 continue
-            yield self._head_row(rule, theta)
+            rows.append(self._head_row(rule, theta))
+        return rows
 
     def _check_budget(self) -> None:
         if self._max_derived is not None and self.fact_count() > self._max_derived:
@@ -163,41 +207,49 @@ class SemiNaiveEngine:
         rules = [r for p in sorted(stratum) for r in kb.rules_for(p)]
         for rule in rules:
             check_rule_safety(rule)
+        # Plans are cached for the lifetime of this stratum evaluation.
+        self._plans = {}
+        self._orders = {}
 
         # Initial round: full evaluation (recursive atoms see empty relations).
         # Rows are materialised before insertion: a rule like a permutation
         # rule reads the very relation its head writes.
         delta_rows: dict[str, set[Row]] = {p: set() for p in stratum}
-        for rule in rules:
+        for rule_index, rule in enumerate(rules):
             relation = self._relation(rule.head.predicate)
-            for row in list(self._fire_rule(rule)):
+            for row in self._fire_rule(rule, (rule_index, -1)):
                 if relation.insert(row):
                     delta_rows[rule.head.predicate].add(row)
         self._check_budget()
 
         recursive_rules = [
-            (rule, [i for i, b in enumerate(rule.body) if b.predicate in stratum])
-            for rule in rules
+            (index, rule, [i for i, b in enumerate(rule.body) if b.predicate in stratum])
+            for index, rule in enumerate(rules)
         ]
-        recursive_rules = [(r, occs) for r, occs in recursive_rules if occs]
+        recursive_rules = [(i, r, occs) for i, r, occs in recursive_rules if occs]
         if not recursive_rules:
             return
+
+        # Pre-build each rule's delta rewritings once; the per-iteration work
+        # is pure plan execution.
+        rewritten_rules: list[tuple[int, int, Rule]] = []
+        for rule_index, rule, occurrences in recursive_rules:
+            for position in occurrences:
+                body = list(rule.body)
+                original = body[position]
+                body[position] = Atom(_DELTA_PREFIX + original.predicate, original.args)
+                rewritten_rules.append((rule_index, position, rule.with_body(body)))
 
         while any(delta_rows.values()):
             self._delta = {
                 p: Relation(self._relation(p).arity, rows) for p, rows in delta_rows.items()
             }
             new_rows: dict[str, set[Row]] = {p: set() for p in stratum}
-            for rule, occurrences in recursive_rules:
-                relation = self._relation(rule.head.predicate)
-                for index in occurrences:
-                    body = list(rule.body)
-                    original = body[index]
-                    body[index] = Atom(_DELTA_PREFIX + original.predicate, original.args)
-                    rewritten = rule.with_body(body)
-                    for row in self._fire_rule(rewritten):
-                        if row not in relation:
-                            new_rows[rule.head.predicate].add(row)
+            for rule_index, position, rewritten in rewritten_rules:
+                relation = self._relation(rewritten.head.predicate)
+                for row in self._fire_rule(rewritten, (rule_index, position)):
+                    if row not in relation:
+                        new_rows[rewritten.head.predicate].add(row)
             for predicate, rows in new_rows.items():
                 self._relation(predicate).insert_many(rows)
             delta_rows = new_rows

@@ -61,11 +61,15 @@ class Session:
         engine: str = "seminaive",
         style: str = "standard",
         config: SearchConfig | None = None,
+        executor: str = "batch",
     ) -> None:
         self.kb = kb if kb is not None else KnowledgeBase()
         self.engine = engine
         self.style = style
         self.config = config
+        #: Bottom-up execution model for retrieve statements: "batch"
+        #: (set-at-a-time hash joins) or "nested" (tuple-at-a-time).
+        self.executor = executor
 
     # -- statement execution -------------------------------------------------------
 
@@ -97,6 +101,7 @@ class Session:
                 statement.qualifier,
                 engine=self.engine,
                 negated_qualifier=statement.negated_qualifier,
+                executor=self.executor,
             )
         if isinstance(statement, DescribeStatement):
             return self._describe(statement)

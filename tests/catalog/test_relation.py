@@ -99,3 +99,48 @@ class TestCopy:
         clone.insert(("b",))
         assert len(rel) == 1
         assert len(clone) == 2
+
+
+class TestStatistics:
+    def test_version_changes_only_on_mutation(self):
+        rel = Relation(2, [("a", "b")])
+        version = rel.version
+        assert not rel.insert(("a", "b"))  # duplicate: no mutation
+        assert not rel.delete(("x", "y"))  # absent: no mutation
+        assert rel.version == version
+        rel.insert(("c", "d"))
+        assert rel.version != version
+        after_insert = rel.version
+        rel.delete(("c", "d"))
+        assert rel.version != after_insert
+
+    def test_distinct_count_without_index(self):
+        rel = Relation(2, [("a", "b"), ("a", "c"), ("x", "b")])
+        assert rel.distinct_count(0) == 2
+        assert rel.distinct_count(1) == 2
+        # Statistics must not have forced index builds.
+        assert rel._indexes == {}
+
+    def test_distinct_count_memoized_and_invalidated(self):
+        rel = Relation(1, [("a",), ("b",)])
+        assert rel.distinct_count(0) == 2
+        assert rel.distinct_count(0) == 2  # served from the memo
+        rel.insert(("c",))
+        assert rel.distinct_count(0) == 3  # memo invalidated by the insert
+
+    def test_distinct_count_uses_live_index(self):
+        rel = Relation(2, [("a", "b"), ("a", "c")])
+        list(rel.lookup([Constant("a"), None]))  # builds the column-0 index
+        assert rel.distinct_count(0) == 1
+        rel.insert(("z", "b"))
+        assert rel.distinct_count(0) == 2
+
+    def test_delete_after_many_inserts_keeps_index_consistent(self):
+        rel = Relation(2, [(f"k{i % 3}", f"v{i}") for i in range(30)])
+        list(rel.lookup([Constant("k0"), None]))  # build index
+        for i in range(0, 30, 2):
+            rel.delete((f"k{i % 3}", f"v{i}"))
+        survivors = rows_of(rel.lookup([Constant("k0"), None]))
+        assert survivors == sorted(
+            (f"k{i % 3}", f"v{i}") for i in range(1, 30, 2) if i % 3 == 0
+        )

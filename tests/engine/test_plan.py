@@ -1,0 +1,182 @@
+"""Unit tests for the set-at-a-time plan compiler and executor."""
+
+import pytest
+
+from repro.errors import EngineError, LogicError, SafetyError
+from repro.catalog.relation import Relation
+from repro.engine import retrieve
+from repro.engine.plan import (
+    EXECUTORS,
+    check_executor,
+    compile_conjunction,
+    compile_rule,
+)
+from repro.engine.seminaive import SemiNaiveEngine
+from repro.lang.parser import parse_atom, parse_rule
+from repro.logic.atoms import Atom, comparison
+from repro.logic.clauses import Rule
+from repro.logic.terms import Variable
+
+
+def view_of(relations):
+    return lambda predicate: relations.get(predicate)
+
+
+def values(rows):
+    return sorted(tuple(c.value for c in row) for row in rows)
+
+
+class TestCompile:
+    def test_simple_hash_join(self):
+        rule = parse_rule("grand(X, Z) <- parent(X, Y) and parent(Y, Z).")
+        plan = compile_rule(rule)
+        relations = {
+            "parent": Relation(2, [("a", "b"), ("b", "c"), ("b", "d")]),
+        }
+        assert values(plan.execute(view_of(relations))) == [("a", "c"), ("a", "d")]
+
+    def test_constant_filter_on_build_side(self):
+        rule = parse_rule("p(X) <- q(X, k).")
+        plan = compile_rule(rule)
+        relations = {"q": Relation(2, [("a", "k"), ("b", "m")])}
+        assert values(plan.execute(view_of(relations))) == [("a",)]
+
+    def test_repeated_variable_within_atom(self):
+        rule = parse_rule("loop(X) <- edge(X, X).")
+        plan = compile_rule(rule)
+        relations = {"edge": Relation(2, [("a", "a"), ("a", "b"), ("c", "c")])}
+        assert values(plan.execute(view_of(relations))) == [("a",), ("c",)]
+
+    def test_equality_binds_then_joins(self):
+        rule = Rule(
+            Atom("p", [Variable("X"), Variable("Y")]),
+            [
+                Atom("q", [Variable("X")]),
+                comparison(Variable("Y"), "=", "k"),
+            ],
+        )
+        plan = compile_rule(rule)
+        relations = {"q": Relation(1, [("a",)])}
+        assert values(plan.execute(view_of(relations))) == [("a", "k")]
+
+    def test_order_comparison_filters(self):
+        rule = parse_rule("big(X) <- size(X, V) and (V > 2).")
+        plan = compile_rule(rule)
+        relations = {"size": Relation(2, [("a", 1), ("b", 3), ("c", 5)])}
+        assert values(plan.execute(view_of(relations))) == [("b",), ("c",)]
+
+    def test_incompatible_order_comparison_raises(self):
+        rule = parse_rule("big(X) <- size(X, V) and (V > 2).")
+        plan = compile_rule(rule)
+        relations = {"size": Relation(2, [("a", "tall")])}
+        with pytest.raises(LogicError):
+            plan.execute(view_of(relations))
+
+    def test_anti_join_negation(self):
+        rule = Rule(
+            Atom("only", [Variable("X")]),
+            [Atom("all", [Variable("X")])],
+            negated=[Atom("banned", [Variable("X")])],
+        )
+        plan = compile_rule(rule)
+        relations = {
+            "all": Relation(1, [("a",), ("b",), ("c",)]),
+            "banned": Relation(1, [("b",)]),
+        }
+        assert values(plan.execute(view_of(relations))) == [("a",), ("c",)]
+
+    def test_negated_undefined_predicate_is_vacuous(self):
+        rule = Rule(
+            Atom("only", [Variable("X")]),
+            [Atom("all", [Variable("X")])],
+            negated=[Atom("ghost", [Variable("X")])],
+        )
+        plan = compile_rule(rule)
+        relations = {"all": Relation(1, [("a",)])}
+        assert values(plan.execute(view_of(relations))) == [("a",)]
+
+    def test_unbound_negated_variable_rejected_at_compile(self):
+        rule = Rule(
+            Atom("p", [Variable("X")]),
+            [Atom("q", [Variable("X")])],
+            negated=[Atom("r", [Variable("W")])],
+        )
+        with pytest.raises(SafetyError):
+            compile_rule(rule)
+
+    def test_unbound_head_variable_rejected_at_compile(self):
+        rule = Rule(Atom("p", [Variable("X"), Variable("W")]), [Atom("q", [Variable("X")])])
+        with pytest.raises(SafetyError):
+            compile_rule(rule)
+
+    def test_undefined_body_predicate_is_empty(self):
+        plan = compile_rule(parse_rule("p(X) <- ghost(X)."))
+        assert plan.execute(view_of({})) == []
+
+    def test_constant_head_argument(self):
+        plan = compile_rule(parse_rule("tagged(X, yes) <- q(X)."))
+        relations = {"q": Relation(1, [("a",)])}
+        assert values(plan.execute(view_of(relations))) == [("a", "yes")]
+
+    def test_conjunction_schema_order(self):
+        plan = compile_conjunction(
+            [parse_atom("q(X, Y)")],
+        )
+        relations = {"q": Relation(2, [("a", "b")])}
+        assert [v.name for v in plan.schema] == ["X", "Y"]
+        assert plan.execute(view_of(relations)) != []
+
+
+class TestBuildSideMemoization:
+    def test_hash_table_reused_while_version_unchanged(self):
+        rule = parse_rule("p(X, Y) <- q(X, Y).")
+        plan = compile_rule(rule)
+        relation = Relation(2, [("a", "b")])
+        view = view_of({"q": relation})
+        plan.execute(view)
+        step = plan.plan.steps[0]
+        table = step._cache_table
+        plan.execute(view)
+        assert step._cache_table is table  # reused, not rebuilt
+
+    def test_hash_table_invalidated_on_mutation(self):
+        rule = parse_rule("p(X, Y) <- q(X, Y).")
+        plan = compile_rule(rule)
+        relation = Relation(2, [("a", "b")])
+        view = view_of({"q": relation})
+        assert len(plan.execute(view)) == 1
+        relation.insert(("c", "d"))
+        assert len(plan.execute(view)) == 2
+
+
+class TestExecutorKnob:
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(EngineError):
+            check_executor("vectorised")
+        with pytest.raises(EngineError):
+            SemiNaiveEngine(None, executor="vectorised")  # kb unused before check
+
+    def test_retrieve_rejects_unknown_executor(self, uni):
+        with pytest.raises(EngineError):
+            retrieve(uni, parse_atom("honor(X)"), executor="vectorised")
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_both_executors_agree_on_university(self, uni, executor):
+        result = retrieve(uni, parse_atom("honor(X)"), executor=executor)
+        assert sorted(result.values()) == ["ann", "bob", "carol", "frank", "grace"]
+
+    def test_engine_exposes_executor(self, uni):
+        assert SemiNaiveEngine(uni).executor == "batch"
+        assert SemiNaiveEngine(uni, executor="nested").executor == "nested"
+
+
+class TestPlanCaching:
+    def test_plans_cached_per_stratum(self):
+        from repro.datasets import chain_graph_kb
+
+        engine = SemiNaiveEngine(chain_graph_kb(10))
+        engine.derived_relation("path")
+        # Two rules; the recursive one also has a delta plan.
+        keys = set(engine._plans)
+        assert (0, -1) in keys and (1, -1) in keys
+        assert any(delta >= 0 for _, delta in keys)
