@@ -23,6 +23,7 @@ import time
 from pathlib import Path
 
 from repro.engine import retrieve
+from repro.engine.guard import ResourceGuard
 from repro.engine.plan import EXECUTORS
 from repro.engine.seminaive import SemiNaiveEngine
 from repro.datasets import (
@@ -57,13 +58,20 @@ TIERS = {
 }
 
 
-def _materialise(make_kb, predicate):
-    """A runner timing one full bottom-up materialisation."""
+def _materialise(make_kb, predicate, guard=None):
+    """A runner timing one full bottom-up materialisation.
+
+    ``guard`` is a factory (a fresh ResourceGuard per run) so repeats never
+    share consumed budget.
+    """
 
     def run(executor):
         kb = make_kb()
+        active = guard() if guard is not None else None
         start = time.perf_counter()
-        relation = SemiNaiveEngine(kb, executor=executor).derived_relation(predicate)
+        relation = SemiNaiveEngine(
+            kb, executor=executor, guard=active
+        ).derived_relation(predicate)
         return time.perf_counter() - start, len(relation)
 
     return run
@@ -121,6 +129,16 @@ def scenarios(sizes):
                 "can_ta(X, databases) and student(X, math, V) and (V > 3.7)"
             ),
         ),
+        # Same workload with the resource guard off vs armed with generous
+        # limits: the pair measures pure checkpoint overhead.
+        "guard_overhead/off": _materialise(
+            lambda: chain_graph_kb(sizes["chain_length"]), "path"
+        ),
+        "guard_overhead/on": _materialise(
+            lambda: chain_graph_kb(sizes["chain_length"]),
+            "path",
+            guard=lambda: ResourceGuard(deadline=600.0, max_facts=100_000_000),
+        ),
     }
 
 
@@ -145,6 +163,12 @@ def run_tier(tier: str, repeats: int | None = None) -> dict:
             }
         if medians["batch"] > 0:
             speedups[name] = round(medians["nested"] / medians["batch"], 2)
+    guard_overhead = {}
+    for executor in EXECUTORS:
+        off = results[f"guard_overhead/off[{executor}]"]["median_s"]
+        on = results[f"guard_overhead/on[{executor}]"]["median_s"]
+        if off > 0:
+            guard_overhead[executor] = round(on / off, 3)
     return {
         "meta": {
             "tier": tier,
@@ -154,6 +178,7 @@ def run_tier(tier: str, repeats: int | None = None) -> dict:
         },
         "scenarios": results,
         "speedups": speedups,
+        "guard_overhead": guard_overhead,
     }
 
 
@@ -178,6 +203,9 @@ def main(argv=None) -> int:
     print()
     for name, factor in sorted(report["speedups"].items()):
         print(f"{name:40s} batch is {factor:.2f}x the nested executor")
+    for executor, factor in sorted(report["guard_overhead"].items()):
+        label = f"guard overhead [{executor}]"
+        print(f"{label:40s} {factor:.3f}x ungoverned")
     print(f"\nwrote {args.output}")
     return 0
 

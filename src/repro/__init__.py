@@ -27,7 +27,13 @@ Quick start::
     print(session.query("describe honor(X)"))
 """
 
-from repro.errors import ReproError
+from repro.errors import (
+    EvaluationLimitError,
+    QueryCancelled,
+    ReproError,
+    ResourceExhausted,
+    SearchBudgetExceeded,
+)
 from repro.catalog.database import KnowledgeBase
 from repro.catalog.loader import kb_from_program, load_file, load_program
 from repro.catalog.persist import export_csv, import_csv, load_kb, save_kb
@@ -43,6 +49,7 @@ from repro.core.search import SearchConfig
 from repro.core.transform import transform_knowledge_base
 from repro.core.wildcard import describe_wildcard
 from repro.engine.evaluate import RetrieveResult, retrieve
+from repro.engine.guard import CancellationToken, Diagnostics, ResourceGuard
 from repro.engine.provenance import explain, explain_all
 from repro.lang.parser import parse_atom, parse_body, parse_rule, parse_statement
 from repro.logic.atoms import Atom
@@ -54,6 +61,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ReproError",
+    "ResourceExhausted",
+    "EvaluationLimitError",
+    "SearchBudgetExceeded",
+    "QueryCancelled",
+    "ResourceGuard",
+    "CancellationToken",
+    "Diagnostics",
     "KnowledgeBase",
     "kb_from_program",
     "load_file",

@@ -6,9 +6,11 @@ from repro.catalog.persist import export_csv, import_csv, load_kb, save_kb
 from repro.catalog.dependencies import DependencyGraph, dependency_graph
 from repro.catalog.relation import Relation
 from repro.catalog.schema import PredicateKind, PredicateSchema
+from repro.catalog.transaction import KBTransaction
 
 __all__ = [
     "KnowledgeBase",
+    "KBTransaction",
     "export_csv",
     "import_csv",
     "load_kb",

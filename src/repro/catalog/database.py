@@ -10,6 +10,7 @@ recursive predicates).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Iterable, Iterator, Sequence
 
 from repro.errors import (
@@ -55,6 +56,42 @@ class KnowledgeBase:
         self._rules_by_head: dict[str, list[Rule]] = {}
         self._constraints: list[IntegrityConstraint] = []
         self._graph: DependencyGraph | None = None
+        #: The open transaction, if any (see :meth:`transaction`).
+        self._tx = None
+
+    # -- transactions -------------------------------------------------------------
+
+    @contextmanager
+    def transaction(self) -> Iterator[object]:
+        """An all-or-nothing mutation span.
+
+        Every mutation inside the ``with`` block — facts, rules,
+        constraints, declarations — lands atomically: if the block raises,
+        the knowledge base is restored to its state at entry and the
+        exception propagates.  Nested ``transaction()`` blocks join the
+        outermost one (a single atomic span).
+        """
+        from repro.catalog.transaction import KBTransaction  # local: avoid cycle
+
+        if self._tx is not None:
+            yield self._tx  # join the enclosing transaction
+            return
+        tx = KBTransaction(self)
+        self._tx = tx
+        try:
+            yield tx
+        except BaseException:
+            self._tx = None
+            tx.rollback()
+            raise
+        else:
+            self._tx = None
+            tx.commit()
+
+    def _tx_touch(self, predicate: str) -> None:
+        """Checkpoint a relation for the open transaction, if any."""
+        if self._tx is not None:
+            self._tx.touch(predicate)
 
     # -- schema -----------------------------------------------------------------
 
@@ -140,6 +177,7 @@ class KnowledgeBase:
                     f"{predicate} is an IDB predicate; facts belong to EDB predicates"
                 )
             raise UnknownPredicateError(f"unknown EDB predicate: {predicate}")
+        self._tx_touch(predicate)
         return self._relations[predicate].insert(values)
 
     def add_facts(self, predicate: str, rows: Iterable[Sequence[object]]) -> int:

@@ -23,27 +23,33 @@ from repro.lang.parser import parse_program
 
 
 def load_program(kb: KnowledgeBase, source: str) -> int:
-    """Load definitions from *source* into *kb*; returns the count."""
+    """Load definitions from *source* into *kb*, atomically; returns the count.
+
+    The whole program lands or none of it does: a parse error, an invalid
+    rule (arity clash, recursion-discipline violation) or any other failure
+    part-way through restores *kb* to its pre-load state.
+    """
     program = parse_program(source)
     count = 0
-    for statement in program.statements:
-        if isinstance(statement, RuleStatement):
-            rule = statement.rule
-            if rule.is_fact():
-                predicate = rule.head.predicate
-                if not kb.has_predicate(predicate):
-                    kb.declare_edb(predicate, rule.head.arity)
-                kb.add_fact(predicate, *rule.head.args)
+    with kb.transaction():
+        for statement in program.statements:
+            if isinstance(statement, RuleStatement):
+                rule = statement.rule
+                if rule.is_fact():
+                    predicate = rule.head.predicate
+                    if not kb.has_predicate(predicate):
+                        kb.declare_edb(predicate, rule.head.arity)
+                    kb.add_fact(predicate, *rule.head.args)
+                else:
+                    kb.add_rule(rule)
+                count += 1
+            elif isinstance(statement, ConstraintStatement):
+                kb.add_constraint(statement.constraint)
+                count += 1
             else:
-                kb.add_rule(rule)
-            count += 1
-        elif isinstance(statement, ConstraintStatement):
-            kb.add_constraint(statement.constraint)
-            count += 1
-        else:
-            raise CatalogError(
-                f"definition files may not contain queries: {statement}"
-            )
+                raise CatalogError(
+                    f"definition files may not contain queries: {statement}"
+                )
     return count
 
 

@@ -4,12 +4,22 @@ The on-disk format is a single JSON document: EDB schemas with their rows,
 and rules/constraints as source text (the language is the canonical
 serialisation of knowledge — it round-trips through the parser).  CSV
 import/export moves single relations in and out of ordinary tabular files.
+
+Every operation here is **atomic**: writers stage the full output in a
+temporary file and :func:`os.replace` it over the destination (a crash or
+mid-write error never leaves a truncated file), and :func:`import_csv`
+parses and validates the whole file before inserting under a
+:meth:`~repro.catalog.database.KnowledgeBase.transaction` (a bad row — or a
+resource-guard trip — leaves the knowledge base untouched).
 """
 
 from __future__ import annotations
 
 import csv
+import io
 import json
+import os
+import tempfile
 from typing import Sequence
 
 from repro.errors import CatalogError
@@ -57,10 +67,31 @@ def kb_from_dict(data: dict) -> KnowledgeBase:
     return kb
 
 
+def _atomic_write(path: str, text: str) -> None:
+    """Write *text* to *path* all-or-nothing (temp file + ``os.replace``)."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, staged = tempfile.mkstemp(
+        dir=directory, prefix=f".{os.path.basename(path)}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", newline="") as handle:
+            handle.write(text)
+        os.replace(staged, path)
+    except BaseException:
+        try:
+            os.unlink(staged)
+        except OSError:
+            pass
+        raise
+
+
 def save_kb(kb: KnowledgeBase, path: str) -> None:
-    """Write the knowledge base to *path* as JSON."""
-    with open(path, "w") as handle:
-        json.dump(kb_to_dict(kb), handle, indent=1)
+    """Write the knowledge base to *path* as JSON, atomically.
+
+    The document is serialised in full first and replaces any previous file
+    in one step, so a failed save never corrupts an existing dump.
+    """
+    _atomic_write(path, json.dumps(kb_to_dict(kb), indent=1))
 
 
 def load_kb(path: str) -> KnowledgeBase:
@@ -88,11 +119,18 @@ def import_csv(
     path: str,
     header: bool = True,
     delimiter: str = ",",
+    guard=None,
 ) -> int:
-    """Load rows of one EDB relation from a CSV file.
+    """Load rows of one EDB relation from a CSV file, atomically.
 
     With ``header=True`` the first row supplies attribute names (used when
     the predicate is not yet declared).  Returns the number of new facts.
+
+    The whole file is parsed and validated (column counts, cell coercion)
+    *before* any insertion, and the insertions run inside a
+    :meth:`~repro.catalog.database.KnowledgeBase.transaction`: a malformed
+    row, a :class:`~repro.engine.guard.ResourceGuard` trip, or any other
+    mid-import failure leaves the knowledge base exactly as it was.
     """
     with open(path, newline="") as handle:
         reader = csv.reader(handle, delimiter=delimiter)
@@ -105,33 +143,40 @@ def import_csv(
     if not rows:
         return 0
     arity = len(rows[0])
-    if not kb.has_predicate(predicate):
-        kb.declare_edb(predicate, arity, attributes)
-    count = 0
+    coerced: list[list[object]] = []
     for row in rows:
         if len(row) != arity:
             raise CatalogError(
                 f"{path}: expected {arity} columns, got {len(row)}: {row!r}"
             )
-        if kb.add_fact(predicate, *[_coerce_cell(cell) for cell in row]):
-            count += 1
+        coerced.append([_coerce_cell(cell) for cell in row])
+    count = 0
+    with kb.transaction():
+        if not kb.has_predicate(predicate):
+            kb.declare_edb(predicate, arity, attributes)
+        for values in coerced:
+            if guard is not None:
+                guard.tick()
+            if kb.add_fact(predicate, *values):
+                count += 1
     return count
 
 
 def export_csv(
     kb: KnowledgeBase, predicate: str, path: str, header: bool = True
 ) -> int:
-    """Write one EDB relation to a CSV file; returns the row count."""
+    """Write one EDB relation to a CSV file, atomically; returns the row count."""
     schema = kb.schema(predicate)
     rows = kb.facts(predicate)
-    with open(path, "w", newline="") as handle:
-        writer = csv.writer(handle)
-        if header:
-            writer.writerow(
-                schema.attributes
-                if schema.attributes
-                else [f"arg{i}" for i in range(schema.arity)]
-            )
-        for row in rows:
-            writer.writerow([c.value for c in row])
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    if header:
+        writer.writerow(
+            schema.attributes
+            if schema.attributes
+            else [f"arg{i}" for i in range(schema.arity)]
+        )
+    for row in rows:
+        writer.writerow([c.value for c in row])
+    _atomic_write(path, buffer.getvalue())
     return len(rows)

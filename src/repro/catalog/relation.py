@@ -188,3 +188,24 @@ class Relation:
         clone = Relation(self.arity)
         clone._rows = dict(self._rows)
         return clone
+
+    # -- transactions -----------------------------------------------------------------
+
+    def checkpoint(self) -> dict[Row, None]:
+        """A snapshot of the row set, for transactional rollback.
+
+        O(rows) shallow dict copy; rows themselves are immutable tuples.
+        """
+        return dict(self._rows)
+
+    def restore(self, snapshot: dict[Row, None]) -> None:
+        """Reset the row set to a :meth:`checkpoint` snapshot.
+
+        Indexes and memoized statistics are dropped (rebuilt lazily) and the
+        version is bumped past every mid-transaction value, so external
+        caches keyed on ``(relation, version)`` cannot serve stale state.
+        """
+        self._rows = dict(snapshot)
+        self._indexes.clear()
+        self._stats.clear()
+        self._version += 1

@@ -1,0 +1,88 @@
+"""All-or-nothing mutation of a knowledge base.
+
+:class:`KBTransaction` makes a span of catalog mutations atomic: either
+every fact/rule/constraint/declaration lands, or — on any exception,
+including a :class:`~repro.errors.ResourceExhausted` trip or an injected
+fault — the knowledge base is restored to its pre-transaction state.
+
+Catalog metadata (schemas, rule lists, constraints) is snapshotted eagerly
+on begin: those structures are small and the copies are shallow.  Stored
+relations are the bulk of the state, so they are staged **copy-on-touch**:
+the first mutation of a relation inside the transaction checkpoints its row
+set (:meth:`~repro.catalog.relation.Relation.checkpoint`); untouched
+relations cost nothing.  Relations *declared* inside the transaction are
+dropped wholesale on rollback.
+
+Use through :meth:`KnowledgeBase.transaction`::
+
+    with kb.transaction():
+        kb.add_fact("parent", "ann", "bob")
+        kb.add_rule(rule)          # raises TypingError -> the fact is gone too
+
+Transactions nest by joining: an inner ``with kb.transaction():`` block is
+absorbed into the outer one (one atomic span, rolled back together).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.catalog.database import KnowledgeBase
+    from repro.catalog.relation import Relation, Row
+
+
+class KBTransaction:
+    """Staged state of one atomic mutation span over a knowledge base."""
+
+    def __init__(self, kb: "KnowledgeBase") -> None:
+        self._kb = kb
+        # Eager, cheap metadata snapshot (shallow copies of small structures).
+        self._schemas = dict(kb._schemas)
+        self._relation_names = set(kb._relations)
+        self._rules = list(kb._rules)
+        self._rules_by_head = {h: list(rs) for h, rs in kb._rules_by_head.items()}
+        self._constraints = list(kb._constraints)
+        # Copy-on-touch relation snapshots: name -> checkpointed row set.
+        self._touched: dict[str, dict["Row", None]] = {}
+        #: Whether the transaction is still open (neither committed nor
+        #: rolled back).
+        self.active = True
+
+    def touch(self, predicate: str) -> None:
+        """Checkpoint a relation before its first mutation in this span.
+
+        Relations created inside the transaction are not checkpointed —
+        rollback removes them entirely.
+        """
+        if not self.active or predicate in self._touched:
+            return
+        if predicate not in self._relation_names:
+            return  # created inside the transaction; dropped on rollback
+        relation = self._kb._relations.get(predicate)
+        if relation is not None:
+            self._touched[predicate] = relation.checkpoint()
+
+    def rollback(self) -> None:
+        """Restore the knowledge base to its pre-transaction state."""
+        if not self.active:
+            return
+        kb = self._kb
+        kb._schemas = self._schemas
+        kb._rules = self._rules
+        kb._rules_by_head = self._rules_by_head
+        kb._constraints = self._constraints
+        kb._graph = None
+        for name in list(kb._relations):
+            if name not in self._relation_names:
+                del kb._relations[name]
+        for name, snapshot in self._touched.items():
+            relation = kb._relations.get(name)
+            if relation is not None:
+                relation.restore(snapshot)
+        self.active = False
+
+    def commit(self) -> None:
+        """Discard the staged snapshots; the mutations stand."""
+        self._touched.clear()
+        self.active = False

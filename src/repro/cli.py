@@ -25,6 +25,7 @@ from repro.errors import ReproError
 from repro.catalog.database import KnowledgeBase
 from repro.core.answers import DescribeResult
 from repro.engine.evaluate import RetrieveResult
+from repro.engine.guard import ResourceGuard
 from repro.lang.pretty import format_bindings, format_rules
 from repro.session import Session
 
@@ -65,14 +66,22 @@ def _build_kb(args: argparse.Namespace) -> KnowledgeBase:
     return KnowledgeBase("interactive")
 
 
+def _degraded_note(result: object) -> str:
+    """A trailing note when a governed query returned a partial answer."""
+    diagnostics = getattr(result, "diagnostics", None)
+    if diagnostics is not None and diagnostics.degraded:
+        return f"\n[{diagnostics}]"
+    return ""
+
+
 def render(result: object) -> str:
     """A human rendering of any query result."""
     if isinstance(result, RetrieveResult):
         if not result.variables:
-            return "yes" if result.boolean else "no"
-        return format_bindings(result.variables, result.rows)
+            return ("yes" if result.boolean else "no") + _degraded_note(result)
+        return format_bindings(result.variables, result.rows) + _degraded_note(result)
     if isinstance(result, DescribeResult):
-        return str(result)
+        return str(result) + _degraded_note(result)
     if isinstance(result, dict):  # wildcard describe
         if not result:
             return "(nothing follows from the qualifier)"
@@ -80,6 +89,9 @@ def render(result: object) -> str:
         for predicate, sub_result in result.items():
             sections.append(f"[{predicate}]")
             sections.append(format_rules(sub_result.rules(), indent="  "))
+            note = _degraded_note(sub_result)
+            if note:
+                sections.append(note.strip("\n"))
         return "\n".join(sections)
     return str(result)
 
@@ -154,9 +166,32 @@ def main(argv: list[str] | None = None) -> int:
         "--style", choices=("standard", "modified"), default="standard",
         help="transformation style for recursive describe",
     )
+    parser.add_argument(
+        "--timeout", type=float, metavar="SECONDS",
+        help="per-query wall-clock deadline",
+    )
+    parser.add_argument(
+        "--max-facts", type=int, metavar="N",
+        help="per-query derived-fact budget",
+    )
+    parser.add_argument(
+        "--on-exhausted", choices=("error", "partial"), default="error",
+        help="on budget exhaustion: raise (error) or return a partial "
+        "answer tagged as a sound under-approximation (partial)",
+    )
     args = parser.parse_args(argv)
 
-    session = Session(_build_kb(args), engine=args.engine, style=args.style)
+    guard = None
+    if args.timeout is not None or args.max_facts is not None:
+        try:
+            guard = ResourceGuard(
+                deadline=args.timeout,
+                max_facts=args.max_facts,
+                mode="degrade" if args.on_exhausted == "partial" else "strict",
+            )
+        except ValueError as error:
+            parser.error(str(error))
+    session = Session(_build_kb(args), engine=args.engine, style=args.style, guard=guard)
     if args.load:
         with open(args.load) as handle:
             count = session.load(handle.read())

@@ -40,12 +40,15 @@ def run_algorithm1(
     hypothesis: Sequence[Atom] = (),
     config: SearchConfig | None = None,
     check_precondition: bool = True,
+    guard=None,
 ) -> tuple[list[RawAnswer], SearchStatistics]:
     """Run Algorithm 1; returns raw answers plus search statistics.
 
     ``check_precondition=False`` lets benchmarks deliberately run the
     algorithm on recursive subjects to reproduce the paper's divergence
-    examples (a step budget then bounds the run).
+    examples (a step budget then bounds the run).  ``guard`` (a
+    :class:`~repro.engine.guard.ResourceGuard`) adds a deadline/step budget
+    and cancellation on top of the config bounds.
     """
     if check_precondition and kb.depends_on_recursion(subject.predicate):
         raise NonRecursiveSubjectRequired(
@@ -53,6 +56,6 @@ def run_algorithm1(
             "predicate; use Algorithm 2"
         )
     program = untransformed_program(kb.rules())
-    search = DerivationSearch(program, config or algorithm1_config())
+    search = DerivationSearch(program, config or algorithm1_config(), guard=guard)
     answers = search.describe(subject, tuple(hypothesis))
     return answers, search.statistics

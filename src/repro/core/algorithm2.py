@@ -39,6 +39,7 @@ def run_algorithm2(
     config: SearchConfig | None = None,
     style: str = "standard",
     program: TransformedProgram | None = None,
+    guard=None,
 ) -> tuple[list[RawAnswer], SearchStatistics]:
     """Run Algorithm 2; returns raw answers plus search statistics.
 
@@ -46,10 +47,12 @@ def run_algorithm2(
     auxiliary chain predicate; ``"modified"`` avoids it where applicable —
     the paper prefers the latter's answers when they exist).  A caller that
     already holds a :class:`TransformedProgram` can pass it to skip
-    re-transformation.
+    re-transformation.  ``guard`` (a
+    :class:`~repro.engine.guard.ResourceGuard`) adds a deadline/step budget
+    and cancellation on top of the config bounds.
     """
     if program is None:
         program = transform_knowledge_base(kb, style=style)
-    search = DerivationSearch(program, config or algorithm2_config())
+    search = DerivationSearch(program, config or algorithm2_config(), guard=guard)
     answers = search.describe(subject, tuple(hypothesis))
     return answers, search.statistics

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
+from repro.engine.guard import Diagnostics
 from repro.logic.atoms import Atom
 from repro.logic.clauses import Rule
 from repro.logic.formulas import format_conjunction
@@ -80,6 +81,11 @@ class DescribeResult:
     one sound rule was derived but *every* one was discarded because its
     comparisons contradict the hypothesis — i.e. the hypothesis contradicts
     the IDB.
+
+    ``diagnostics`` reports how a resource-governed query ended (``None``
+    for ungoverned queries); a degrade-mode trip yields a partial answer
+    with ``diagnostics.degraded`` true — every listed rule is still sound,
+    the set is just a sound under-approximation of the full answer.
     """
 
     subject: Atom | None
@@ -88,6 +94,12 @@ class DescribeResult:
     contradiction: bool = False
     algorithm: str = ""
     statistics: SearchStatistics = field(default_factory=SearchStatistics)
+    diagnostics: Diagnostics | None = None
+
+    @property
+    def complete(self) -> bool:
+        """Whether the answer is exhaustive (no budget degraded it)."""
+        return self.diagnostics is None or self.diagnostics.complete
 
     def __iter__(self) -> Iterator[KnowledgeAnswer]:
         return iter(self.answers)

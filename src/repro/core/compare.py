@@ -26,6 +26,7 @@ from repro.catalog.database import KnowledgeBase
 from repro.core.redundancy import subsumes
 from repro.core.search import DerivationSearch, SearchConfig
 from repro.core.transform import transform_knowledge_base
+from repro.engine.guard import ResourceGuard, require_strict
 from repro.logic.atoms import Atom
 from repro.logic.clauses import Rule
 from repro.logic.formulas import format_conjunction
@@ -78,6 +79,7 @@ def _aligned_definitions(
     hypothesis: Sequence[Atom],
     config: SearchConfig | None,
     style: str,
+    guard: ResourceGuard | None = None,
 ) -> list[Rule]:
     """EDB-level definitions of a concept, subject variables normalised.
 
@@ -91,7 +93,7 @@ def _aligned_definitions(
             f"compare subjects must use IDB predicates, got {subject.predicate!r}"
         )
     program = transform_knowledge_base(kb, style=style)
-    search = DerivationSearch(program, config or SearchConfig())
+    search = DerivationSearch(program, config or SearchConfig(), guard=guard)
     alignment = Substitution(
         {
             arg: Variable(f"S{position + 1}")
@@ -151,10 +153,21 @@ def compare_concepts(
     right_hypothesis: Sequence[Atom] = (),
     config: SearchConfig | None = None,
     style: str = "standard",
+    guard: ResourceGuard | None = None,
 ) -> ConceptComparison:
-    """Evaluate a compare statement over two described concepts."""
-    left_defs = _aligned_definitions(kb, left_subject, left_hypothesis, config, style)
-    right_defs = _aligned_definitions(kb, right_subject, right_hypothesis, config, style)
+    """Evaluate a compare statement over two described concepts.
+
+    Subsumption verdicts need both definition sets in full, so only
+    strict-mode guards are accepted (exhaustion raises rather than
+    truncating a definition set and flipping the relation).
+    """
+    require_strict(guard, "compare", error=CoreError)
+    left_defs = _aligned_definitions(
+        kb, left_subject, left_hypothesis, config, style, guard=guard
+    )
+    right_defs = _aligned_definitions(
+        kb, right_subject, right_hypothesis, config, style, guard=guard
+    )
 
     anchor_count = min(left_subject.arity, right_subject.arity)
     left_covers = _set_subsumes(left_defs, right_defs, anchor_count)

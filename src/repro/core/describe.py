@@ -12,19 +12,21 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.errors import CoreError
+from repro.errors import CoreError, ResourceExhausted
 from repro.catalog.database import KnowledgeBase
 from repro.core.algorithm1 import algorithm1_config, run_algorithm1
 from repro.core.algorithm2 import algorithm2_config, run_algorithm2
 from repro.core.answers import (
     DescribeResult,
     KnowledgeAnswer,
+    SearchStatistics,
     cleanup_answer,
     dedupe_answers,
 )
 from repro.core.comparisons import postprocess_answer
 from repro.core.redundancy import eliminate_redundant
 from repro.core.search import SearchConfig
+from repro.engine.guard import ResourceGuard, degrade_catch
 from repro.logic.atoms import Atom
 
 #: Accepted values for the ``algorithm`` parameter.
@@ -38,6 +40,7 @@ def describe(
     algorithm: str = "auto",
     style: str = "standard",
     config: SearchConfig | None = None,
+    guard: ResourceGuard | None = None,
 ) -> DescribeResult:
     """Evaluate a knowledge query ``describe subject where hypothesis``.
 
@@ -56,6 +59,12 @@ def describe(
         passes a bounded ``config`` and catches the budget error).
     style:
         Transformation style for Algorithm 2 (``"standard"``/``"modified"``).
+    guard:
+        A :class:`~repro.engine.guard.ResourceGuard` governing the search
+        (deadline, step/depth budgets, cancellation).  Strict mode raises
+        :class:`~repro.errors.SearchBudgetExceeded` on exhaustion; degrade
+        mode post-processes the answers found so far and returns them with
+        ``result.diagnostics`` marking a sound under-approximation.
     """
     if algorithm not in ALGORITHMS:
         raise CoreError(f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}")
@@ -82,14 +91,28 @@ def describe(
             "algorithm2" if kb.depends_on_recursion(subject.predicate) else "algorithm1"
         )
 
-    if algorithm == "algorithm1":
-        raw_answers, statistics = run_algorithm1(
-            kb, subject, hypothesis, config=config or algorithm1_config()
-        )
+    diagnostics = None
+    try:
+        if algorithm == "algorithm1":
+            raw_answers, statistics = run_algorithm1(
+                kb, subject, hypothesis, config=config or algorithm1_config(),
+                guard=guard,
+            )
+        else:
+            raw_answers, statistics = run_algorithm2(
+                kb, subject, hypothesis, config=config or algorithm2_config(),
+                style=style, guard=guard,
+            )
+    except ResourceExhausted as error:
+        # Degrade: every raw answer found before the trip is a soundly
+        # derived rule, so post-process the partial set as usual and tag
+        # the result.  degrade_catch re-raises in strict mode.
+        diagnostics = degrade_catch(guard, error)
+        raw_answers = list(getattr(error, "answers_so_far", ()) or ())
+        statistics = getattr(error, "statistics", None) or SearchStatistics()
     else:
-        raw_answers, statistics = run_algorithm2(
-            kb, subject, hypothesis, config=config or algorithm2_config(), style=style
-        )
+        if guard is not None:
+            diagnostics = guard.diagnostics()
 
     answers: list[KnowledgeAnswer] = []
     discarded = 0
@@ -119,4 +142,5 @@ def describe(
         contradiction=bool(discarded) and not answers,
         algorithm=algorithm,
         statistics=statistics,
+        diagnostics=diagnostics,
     )

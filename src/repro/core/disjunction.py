@@ -22,6 +22,7 @@ from repro.core.answers import DescribeResult, KnowledgeAnswer
 from repro.core.describe import describe
 from repro.core.redundancy import equivalent
 from repro.core.search import SearchConfig
+from repro.engine.guard import ResourceGuard
 from repro.logic.atoms import Atom
 from repro.logic.formulas import format_conjunction
 
@@ -62,13 +63,21 @@ def describe_disjunctive(
     algorithm: str = "auto",
     style: str = "standard",
     config: SearchConfig | None = None,
+    guard: ResourceGuard | None = None,
 ) -> DisjunctiveDescribeResult:
-    """Evaluate a describe query whose hypothesis is a disjunction."""
+    """Evaluate a describe query whose hypothesis is a disjunction.
+
+    A *guard* governs all cases jointly (one shared budget).  In degrade
+    mode the tripped case returns partial answers (flagged by its
+    ``diagnostics``); the unconditional intersection over partial cases is
+    still a sound under-approximation.
+    """
     if not disjuncts:
         raise CoreError("a disjunctive describe needs at least one disjunct")
     cases = [
         describe(
-            kb, subject, tuple(disjunct), algorithm=algorithm, style=style, config=config
+            kb, subject, tuple(disjunct), algorithm=algorithm, style=style,
+            config=config, guard=guard,
         )
         for disjunct in disjuncts
     ]

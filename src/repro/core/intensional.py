@@ -28,6 +28,7 @@ from repro.core.answers import KnowledgeAnswer
 from repro.core.describe import describe
 from repro.core.search import SearchConfig
 from repro.engine.evaluate import RetrieveResult, retrieve
+from repro.engine.guard import ResourceGuard
 from repro.logic.atoms import Atom
 from repro.logic.terms import Constant
 
@@ -80,11 +81,19 @@ def intensional_answer(
     qualifier: Sequence[Atom] = (),
     engine: str = "seminaive",
     config: SearchConfig | None = None,
+    guard: ResourceGuard | None = None,
 ) -> IntensionalAnswer:
-    """Answer a data query with rules plus residue (mechanism 2)."""
+    """Answer a data query with rules plus residue (mechanism 2).
+
+    A *guard* governs both the data retrieval and the describe search.  In
+    degrade mode the abstraction may cover fewer rows (a larger residue),
+    which is still a correct — just less intensional — answer; check
+    ``result.extension.complete`` for whether the data answer itself was
+    truncated.
+    """
     qualifier = tuple(qualifier)
-    extension = retrieve(kb, subject, qualifier, engine=engine)
-    description = describe(kb, subject, qualifier, config=config)
+    extension = retrieve(kb, subject, qualifier, engine=engine, guard=guard)
+    description = describe(kb, subject, qualifier, config=config, guard=guard)
 
     all_rows = list(extension.rows)
     covered_rows: set[tuple[Constant, ...]] = set()

@@ -26,6 +26,7 @@ from repro.core.answers import DescribeResult, KnowledgeAnswer, cleanup_answer
 from repro.core.describe import describe
 from repro.core.search import DerivationSearch, SearchConfig
 from repro.core.transform import transform_knowledge_base
+from repro.engine.guard import ResourceGuard, require_strict
 from repro.logic.atoms import Atom, atoms_variables
 from repro.logic.clauses import Rule
 from repro.logic.unify import unify
@@ -53,6 +54,7 @@ def describe_necessary(
     algorithm: str = "auto",
     style: str = "standard",
     config: SearchConfig | None = None,
+    guard: ResourceGuard | None = None,
 ) -> DescribeResult:
     """``describe subject where necessary hypothesis``.
 
@@ -60,11 +62,13 @@ def describe_necessary(
     hypothesis conjunct was necessary: every non-comparison conjunct was
     identified in the derivation, and every comparison conjunct helped
     remove a body comparison.  Bare (hypothesis-ignoring) answers never
-    qualify.
+    qualify.  A degrade-mode *guard* yields a partial filtered set (still a
+    sound under-approximation), flagged via ``result.diagnostics``.
     """
     hypothesis = tuple(hypothesis)
     result = describe(
-        kb, subject, hypothesis, algorithm=algorithm, style=style, config=config
+        kb, subject, hypothesis, algorithm=algorithm, style=style, config=config,
+        guard=guard,
     )
     required_indices = {
         index for index, atom in enumerate(hypothesis) if not atom.is_comparison()
@@ -88,6 +92,7 @@ def describe_necessary(
         contradiction=result.contradiction,
         algorithm=result.algorithm,
         statistics=result.statistics,
+        diagnostics=result.diagnostics,
     )
 
 
@@ -123,19 +128,25 @@ def describe_without(
     negated: Atom,
     config: SearchConfig | None = None,
     style: str = "standard",
+    guard: ResourceGuard | None = None,
 ) -> NecessityResult:
     """``describe subject where not negated``.
 
     Enumerates the complete expansions of the subject; an expansion "avoids"
     the negated atom when no formula of the derivation unifies with it.  If
     none avoids it, the negated concept is necessary (answer *false*).
+
+    The *false* verdict concludes from the absence of avoiding expansions,
+    so the enumeration must be complete: only strict-mode guards are
+    accepted (exhaustion raises rather than truncating).
     """
+    require_strict(guard, "describe where not", error=CoreError)
     if not kb.is_idb(subject.predicate):
         raise CoreError(
             f"the subject of describe must use an IDB predicate, got {subject.predicate!r}"
         )
     program = transform_knowledge_base(kb, style=style)
-    search = DerivationSearch(program, config or SearchConfig())
+    search = DerivationSearch(program, config or SearchConfig(), guard=guard)
     avoiding: list[KnowledgeAnswer] = []
     saw_expansion = False
     for expansion in search.expand_subject(subject):

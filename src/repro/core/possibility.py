@@ -19,9 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.errors import CoreError
 from repro.catalog.database import KnowledgeBase
 from repro.core.describe import describe
 from repro.core.search import SearchConfig
+from repro.engine.guard import ResourceGuard, require_strict
 from repro.logic.atoms import Atom
 from repro.logic.intervals import satisfiable
 from repro.logic.rename import VariableRenamer
@@ -93,8 +95,15 @@ def is_possible(
     hypothesis: Sequence[Atom],
     config: SearchConfig | None = None,
     style: str = "standard",
+    guard: ResourceGuard | None = None,
 ) -> PossibilityResult:
-    """Evaluate ``describe where hypothesis`` (no subject)."""
+    """Evaluate ``describe where hypothesis`` (no subject).
+
+    The *false* answer rests on exhaustive contradiction checks, so only
+    strict-mode guards are accepted (exhaustion raises rather than
+    truncating the verdict).
+    """
+    require_strict(guard, "describe where (possibility test)", error=CoreError)
     hypothesis = tuple(hypothesis)
     reasons: list[str] = []
 
@@ -107,7 +116,7 @@ def is_possible(
             if atom.is_comparison() or not kb.is_idb(atom.predicate):
                 continue
             rest = hypothesis[:index] + hypothesis[index + 1 :]
-            result = describe(kb, atom, rest, config=config, style=style)
+            result = describe(kb, atom, rest, config=config, style=style, guard=guard)
             if result.contradiction:
                 rest_text = " and ".join(str(a) for a in rest)
                 reasons.append(

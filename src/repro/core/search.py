@@ -36,8 +36,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Sequence
 
-from repro.errors import SearchBudgetExceeded
+from repro.errors import ResourceExhausted, SearchBudgetExceeded
 from repro.core.answers import KnowledgeAnswer, SearchStatistics
+from repro.engine.guard import ResourceGuard
 from repro.core.transform import (
     KIND_CONTINUATION,
     KIND_PERMUTATION,
@@ -118,11 +119,25 @@ class RawAnswer:
 
 
 class DerivationSearch:
-    """Enumerates knowledge answers for one describe query."""
+    """Enumerates knowledge answers for one describe query.
 
-    def __init__(self, program: TransformedProgram, config: SearchConfig | None = None) -> None:
+    ``guard`` (a :class:`~repro.engine.guard.ResourceGuard`) adds a
+    wall-clock deadline, step budget, and cooperative cancellation on top of
+    the :class:`SearchConfig` bounds; budget errors raised here are
+    :class:`~repro.errors.SearchBudgetExceeded` (catchable as
+    :class:`~repro.errors.ResourceExhausted`) carrying the answers found so
+    far in ``answers_so_far`` and the search counters in ``statistics``.
+    """
+
+    def __init__(
+        self,
+        program: TransformedProgram,
+        config: SearchConfig | None = None,
+        guard: ResourceGuard | None = None,
+    ) -> None:
         self._program = program
         self._config = config or SearchConfig()
+        self._guard = guard
         self._rules_by_pred: dict[str, list[Rule]] = {}
         for rule in program.rules:
             self._rules_by_pred.setdefault(rule.head.predicate, []).append(rule)
@@ -159,7 +174,22 @@ class DerivationSearch:
         ]
         self._hypothesis = hyp_positive
         answers: list[RawAnswer] = []
+        try:
+            self._describe_into(subject, hyp_positive, answers)
+        except ResourceExhausted as error:
+            # The answers accumulated before the budget tripped are sound;
+            # degrade-mode callers post-process them as a partial result.
+            error.answers_so_far = list(answers)
+            error.statistics = self.statistics
+            raise
+        return self._finalize(answers)
 
+    def _describe_into(
+        self,
+        subject: Atom,
+        hyp_positive: list[tuple[int, Atom]],
+        answers: list[RawAnswer],
+    ) -> None:
         # Root identification with hypothesis conjuncts (Example 6's
         # ``prior(X, Y) <- (X = databases)`` answer).
         for index, hyp_atom in hyp_positive:
@@ -208,7 +238,7 @@ class DerivationSearch:
                     self._config.max_answers is not None
                     and len(answers) >= self._config.max_answers
                 ):
-                    return self._finalize(answers)
+                    return
             if not productive and self._config.bare_rules == "include":
                 answers.append(
                     RawAnswer(
@@ -219,7 +249,6 @@ class DerivationSearch:
                         root_rule=rule_index,
                     )
                 )
-        return self._finalize(answers)
 
     def expand_subject(self, subject: Atom) -> Iterator[FullExpansion]:
         """Every complete expansion of *subject* down to EDB-level leaves.
@@ -337,12 +366,16 @@ class DerivationSearch:
         self._tick()
         if depth > self._config.max_depth:
             raise SearchBudgetExceeded(
-                self.statistics.steps,
                 reason=(
                     f"derivation tree exceeded depth {self._config.max_depth} "
                     f"after {self.statistics.steps} steps"
                 ),
+                budget="depth",
+                consumed=depth,
+                limit=self._config.max_depth,
             )
+        if self._guard is not None:
+            self._guard.check_depth(depth, error=SearchBudgetExceeded)
         current = theta.apply(atom)
 
         if current.is_comparison():
@@ -455,3 +488,5 @@ class DerivationSearch:
         self.statistics.steps += 1
         if self.statistics.steps > self._config.max_steps:
             raise SearchBudgetExceeded(self._config.max_steps)
+        if self._guard is not None:
+            self._guard.tick(error=SearchBudgetExceeded)

@@ -16,6 +16,7 @@ from repro.catalog.database import KnowledgeBase
 from repro.core.answers import DescribeResult
 from repro.core.describe import describe
 from repro.core.search import SearchConfig
+from repro.engine.guard import ResourceGuard
 from repro.logic.atoms import Atom
 from repro.logic.terms import Variable
 
@@ -25,6 +26,7 @@ def describe_wildcard(
     hypothesis: Sequence[Atom],
     config: SearchConfig | None = None,
     style: str = "standard",
+    guard: ResourceGuard | None = None,
 ) -> dict[str, DescribeResult]:
     """Evaluate ``describe * where hypothesis``.
 
@@ -32,6 +34,11 @@ def describe_wildcard(
     restricted to predicates with at least one hypothesis-using answer.
     The hypothesis's own predicates are skipped when the result would be
     the trivial self-description.
+
+    A *guard* governs the whole sweep (one shared budget, not one per
+    predicate).  In degrade mode the sweep stops at the predicate whose
+    describe tripped the budget; its partial (still sound) result carries
+    the degraded diagnostics and later predicates are not attempted.
     """
     hypothesis = tuple(hypothesis)
     hypothesis_predicates = {a.predicate for a in hypothesis if not a.is_comparison()}
@@ -41,16 +48,18 @@ def describe_wildcard(
             continue  # would only restate the hypothesis about itself
         schema = kb.schema(predicate)
         subject = Atom(predicate, [Variable(f"W{i + 1}") for i in range(schema.arity)])
-        result = describe(kb, subject, hypothesis, config=config, style=style)
+        result = describe(kb, subject, hypothesis, config=config, style=style, guard=guard)
         engaged = [a for a in result.answers if a.used_hypotheses and not a.bare]
-        if not engaged:
-            continue
-        results[predicate] = DescribeResult(
-            subject=result.subject,
-            hypothesis=result.hypothesis,
-            answers=engaged,
-            contradiction=result.contradiction,
-            algorithm=result.algorithm,
-            statistics=result.statistics,
-        )
+        if engaged:
+            results[predicate] = DescribeResult(
+                subject=result.subject,
+                hypothesis=result.hypothesis,
+                answers=engaged,
+                contradiction=result.contradiction,
+                algorithm=result.algorithm,
+                statistics=result.statistics,
+                diagnostics=result.diagnostics,
+            )
+        if not result.complete:
+            break  # shared budget exhausted; remaining predicates unexplored
     return results

@@ -14,6 +14,12 @@ from repro.engine.evaluate import (
     evaluate_conjunction,
     retrieve,
 )
+from repro.engine.guard import (
+    MODES,
+    CancellationToken,
+    Diagnostics,
+    ResourceGuard,
+)
 from repro.engine.plan import (
     EXECUTORS,
     ConjunctionPlan,
@@ -37,6 +43,10 @@ from repro.engine.topdown import TopDownEngine
 __all__ = [
     "ENGINES",
     "EXECUTORS",
+    "MODES",
+    "CancellationToken",
+    "Diagnostics",
+    "ResourceGuard",
     "ConjunctionPlan",
     "RulePlan",
     "compile_conjunction",

@@ -12,9 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
-from repro.errors import EngineError, SafetyError
+from repro.errors import EngineError, ResourceExhausted, SafetyError
 from repro.catalog.database import KnowledgeBase
 from repro.catalog.relation import Row
+from repro.engine.guard import Diagnostics, ResourceGuard, degrade_catch
 from repro.engine.joins import bind_row, join_conjunction, relation_cost_estimator
 from repro.engine.plan import EXECUTORS, check_executor, compile_conjunction
 from repro.engine.seminaive import SemiNaiveEngine
@@ -35,11 +36,21 @@ class RetrieveResult:
     occurrence order; ``rows`` are their bindings (constant tuples).  For a
     variable-free subject the result is Boolean: ``rows`` holds one empty
     tuple when the subject is derivable.
+
+    ``diagnostics`` reports how a resource-governed query ended (``None``
+    for ungoverned queries): a degrade-mode trip yields a partial answer
+    with ``diagnostics.degraded`` true — a sound under-approximation.
     """
 
     subject: Atom
     variables: tuple[Variable, ...]
     rows: list[tuple[Constant, ...]] = field(default_factory=list)
+    diagnostics: Diagnostics | None = None
+
+    @property
+    def complete(self) -> bool:
+        """Whether the answer is exhaustive (no budget degraded it)."""
+        return self.diagnostics is None or self.diagnostics.complete
 
     def __iter__(self) -> Iterator[tuple[Constant, ...]]:
         return iter(self.rows)
@@ -84,6 +95,7 @@ def evaluate_conjunction(
     max_derived_facts: int | None = None,
     negated: Sequence[Atom] = (),
     executor: str = "batch",
+    guard: ResourceGuard | None = None,
 ) -> Iterator[Substitution]:
     """Enumerate substitutions satisfying a conjunction over the database.
 
@@ -94,9 +106,37 @@ def evaluate_conjunction(
     plans, ``"nested"`` uses the tuple-at-a-time reference executor.  Only
     the seminaive engine honours the knob; topdown and magic are
     tuple-at-a-time by construction.
+
+    ``guard`` governs the whole evaluation (deadline, fact budget,
+    cancellation).  In strict mode exhaustion raises a
+    :class:`~repro.errors.ResourceExhausted` error; in degrade mode the
+    enumeration ends early instead — everything yielded is genuinely
+    derivable, so the prefix is a sound under-approximation — and the trip
+    is recorded on ``guard.tripped``.
     """
     _check_engine(engine)
     check_executor(executor)
+    iterator = _evaluate_conjunction(
+        kb, conjuncts, engine, max_derived_facts, negated, executor, guard
+    )
+    if guard is None or guard.mode != "degrade":
+        yield from iterator
+        return
+    try:
+        yield from iterator
+    except ResourceExhausted as error:
+        degrade_catch(guard, error)
+
+
+def _evaluate_conjunction(
+    kb: KnowledgeBase,
+    conjuncts: Sequence[Atom],
+    engine: str,
+    max_derived_facts: int | None,
+    negated: Sequence[Atom],
+    executor: str,
+    guard: ResourceGuard | None,
+) -> Iterator[Substitution]:
     if engine == "magic":
         from repro.engine.magic import magic_conjunction
 
@@ -105,10 +145,12 @@ def evaluate_conjunction(
                 "the magic engine covers positive queries; use seminaive or "
                 "topdown for negated qualifiers"
             )
-        yield from magic_conjunction(kb, conjuncts, max_derived_facts=max_derived_facts)
+        yield from magic_conjunction(
+            kb, conjuncts, max_derived_facts=max_derived_facts, guard=guard
+        )
         return
     if engine == "topdown":
-        evaluator = TopDownEngine(kb, max_table_rows=max_derived_facts)
+        evaluator = TopDownEngine(kb, max_table_rows=max_derived_facts, guard=guard)
 
         def absent_topdown(theta: Substitution) -> bool:
             for atom in negated:
@@ -131,8 +173,24 @@ def evaluate_conjunction(
         a.predicate for a in conjuncts if not a.is_comparison() and kb.is_idb(a.predicate)
     }
     negated_predicates = {a.predicate for a in negated if kb.is_idb(a.predicate)}
-    bottom_up = SemiNaiveEngine(kb, max_derived_facts=max_derived_facts, executor=executor)
-    derived = bottom_up.evaluate(sorted(positive_predicates | negated_predicates))
+    bottom_up = SemiNaiveEngine(
+        kb, max_derived_facts=max_derived_facts, executor=executor, guard=guard
+    )
+    wanted = sorted(positive_predicates | negated_predicates)
+    try:
+        derived = bottom_up.evaluate(wanted)
+    except ResourceExhausted as error:
+        # Degrade: the partial fixpoint is sound (derivation is monotone),
+        # so finish the query over whatever was materialised before the
+        # budget tripped.  degrade_catch re-raises in strict mode and
+        # disarms the guard otherwise, letting the final join complete.
+        degrade_catch(guard, error)
+        if negated_predicates:
+            # Absence filtering against a *partial* negated relation would
+            # over-approximate (rows could pass that a complete evaluation
+            # rejects); the only sound degraded answer is the empty one.
+            return
+        derived = {p: bottom_up.partial_relation(p) for p in wanted}
 
     def relation_view(predicate: str):
         if kb.is_edb(predicate):
@@ -146,7 +204,7 @@ def evaluate_conjunction(
         estimate = relation_cost_estimator(relation_view)
         plan = compile_conjunction(conjuncts, negated, estimate=estimate)
         schema = plan.schema
-        for binding in plan.execute(relation_view):
+        for binding in plan.execute(relation_view, guard):
             yield Substitution(dict(zip(schema, binding)))
         return
 
@@ -174,6 +232,8 @@ def evaluate_conjunction(
 
     estimate = relation_cost_estimator(relation_view)
     for theta in join_conjunction(resolver, conjuncts, estimate=estimate):
+        if guard is not None:
+            guard.tick()
         if not negated or absent(theta):
             yield theta
 
@@ -186,6 +246,7 @@ def retrieve(
     max_derived_facts: int | None = None,
     negated_qualifier: Sequence[Atom] = (),
     executor: str = "batch",
+    guard: ResourceGuard | None = None,
 ) -> RetrieveResult:
     """Evaluate a data query ``retrieve subject where qualifier``.
 
@@ -196,6 +257,12 @@ def retrieve(
     are not married"); their variables must be bound by the subject or the
     positive qualifier.  ``executor`` selects the bottom-up execution model
     (see :func:`evaluate_conjunction`).
+
+    ``guard`` puts the query under a resource budget: strict mode raises
+    :class:`~repro.errors.ResourceExhausted` on exhaustion; degrade mode
+    returns the rows found so far with ``result.diagnostics`` marking the
+    answer a sound under-approximation.  The guard is one activation — a
+    :class:`~repro.session.Session` hands each query a fresh one.
     """
     _check_engine(engine)
     check_executor(executor)
@@ -230,6 +297,7 @@ def retrieve(
         max_derived_facts=max_derived_facts,
         negated=tuple(negated_qualifier),
         executor=executor,
+        guard=guard,
     ):
         values = []
         for variable in free_vars:
@@ -243,11 +311,22 @@ def retrieve(
         if row not in seen:
             seen.add(row)
             rows.append(row)
-    return RetrieveResult(subject=subject, variables=tuple(free_vars), rows=rows)
+    diagnostics = guard.diagnostics() if guard is not None else None
+    return RetrieveResult(
+        subject=subject,
+        variables=tuple(free_vars),
+        rows=rows,
+        diagnostics=diagnostics,
+    )
 
 
-def derivable(kb: KnowledgeBase, atom: Atom, engine: str = "seminaive") -> bool:
+def derivable(
+    kb: KnowledgeBase,
+    atom: Atom,
+    engine: str = "seminaive",
+    guard: ResourceGuard | None = None,
+) -> bool:
     """Whether some instance of *atom* is derivable from the database."""
-    for _ in evaluate_conjunction(kb, (atom,), engine=engine):
+    for _ in evaluate_conjunction(kb, (atom,), engine=engine, guard=guard):
         return True
     return False

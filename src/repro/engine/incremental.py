@@ -85,8 +85,13 @@ class MaterializedDatabase:
       recomputation when it uses negation.
     """
 
-    def __init__(self, kb: KnowledgeBase, strategy: str = STRATEGY_AUTO) -> None:
+    def __init__(
+        self, kb: KnowledgeBase, strategy: str = STRATEGY_AUTO, guard=None
+    ) -> None:
         self._kb = kb
+        #: Optional :class:`~repro.engine.guard.ResourceGuard` governing
+        #: recomputations and maintenance propagation.
+        self._guard = guard
         self._rules: list[Rule] = kb.rules()
         positive = all(rule.is_positive() for rule in self._rules)
         recursive = bool(kb.dependency_graph().recursive_predicates())
@@ -147,28 +152,37 @@ class MaterializedDatabase:
     def insert(self, predicate: str, *values: object) -> bool:
         """Insert one EDB fact, maintaining every derived relation.
 
-        Returns ``False`` when the fact was already present.
+        Returns ``False`` when the fact was already present.  The update is
+        atomic: a failure during propagation (a guard trip, an injected
+        fault) restores the stored fact and every derived relation.
         """
         if not self._kb.is_edb(predicate):
             raise CatalogError(
                 f"facts can only be inserted into EDB predicates, not {predicate}"
             )
-        if not self._kb.add_fact(predicate, *values):
-            return False
-        if not self.incremental:
-            self._recompute_all()
+        staged = self._begin(predicate)
+        try:
+            if not self._kb.add_fact(predicate, *values):
+                return False
+            if not self.incremental:
+                self._recompute_all()
+                return True
+            row: Row = tuple(Atom(predicate, values).args)  # type: ignore[assignment]
+            if self.strategy == STRATEGY_COUNTING:
+                self._counting_update({predicate: {row}}, sign=+1)
+            else:
+                self._propagate_insertions({predicate: {row}})
             return True
-        row: Row = tuple(Atom(predicate, values).args)  # type: ignore[assignment]
-        if self.strategy == STRATEGY_COUNTING:
-            self._counting_update({predicate: {row}}, sign=+1)
-        else:
-            self._propagate_insertions({predicate: {row}})
-        return True
+        except BaseException:
+            self._restore(predicate, staged)
+            raise
 
     def delete(self, predicate: str, *values: object) -> bool:
         """Delete one EDB fact, maintaining every derived relation (DRed).
 
-        Returns ``False`` when the fact was absent.
+        Returns ``False`` when the fact was absent.  Atomic like
+        :meth:`insert`: a failed maintenance sweep restores the fact and the
+        derived relations.
         """
         if not self._kb.is_edb(predicate):
             raise CatalogError(
@@ -176,21 +190,56 @@ class MaterializedDatabase:
             )
         atom = Atom(predicate, values)
         row: Row = tuple(atom.args)  # type: ignore[assignment]
-        if not self._kb.relation(predicate).delete(row):
-            return False
-        if not self.incremental:
-            self._recompute_all()
+        staged = self._begin(predicate)
+        try:
+            if not self._kb.relation(predicate).delete(row):
+                return False
+            if not self.incremental:
+                self._recompute_all()
+                return True
+            if self.strategy == STRATEGY_COUNTING:
+                self._counting_update({predicate: {row}}, sign=-1)
+            else:
+                self._dred({predicate: {row}})
             return True
-        if self.strategy == STRATEGY_COUNTING:
-            self._counting_update({predicate: {row}}, sign=-1)
-        else:
-            self._dred({predicate: {row}})
-        return True
+        except BaseException:
+            self._restore(predicate, staged)
+            raise
 
     # -- internals --------------------------------------------------------------------
 
+    def _begin(self, predicate: str):
+        """Checkpoint the state one update can change.
+
+        The stored relation of *predicate* plus every materialised relation
+        of a predicate that (transitively) depends on it; unrelated derived
+        relations are not copied.  Checkpoints are shallow row-set copies.
+        """
+        graph = self._kb.dependency_graph()
+        affected = [
+            p for p in self._derived if predicate in graph.dependencies(p)
+        ]
+        return (
+            self._kb.relation(predicate).checkpoint(),
+            self._derived,
+            {p: self._derived[p].checkpoint() for p in affected},
+            {p: dict(c) for p, c in self._counts.items()} if self._counts else None,
+        )
+
+    def _restore(self, predicate: str, staged) -> None:
+        """Undo a failed update from its :meth:`_begin` checkpoint."""
+        edb, derived_ref, derived_rows, counts = staged
+        self._kb.relation(predicate).restore(edb)
+        # The recompute path reassigns ``self._derived`` wholesale; point it
+        # back at the pre-update mapping before restoring touched row sets.
+        self._derived = derived_ref
+        for name, snapshot in derived_rows.items():
+            self._derived[name].restore(snapshot)
+        if counts is not None:
+            self._counts = counts
+
     def _recompute_all(self) -> None:
-        engine = SemiNaiveEngine(self._kb)
+        engine = SemiNaiveEngine(self._kb, guard=self._guard)
         self._derived = dict(engine.evaluate(None))
         for predicate in self._kb.idb_predicates():
             self._derived.setdefault(
@@ -280,6 +329,8 @@ class MaterializedDatabase:
             stratum_rules = [rule for p in stratum for rule in self._kb.rules_for(p)]
             current: Delta = {p: set(rows) for p, rows in accumulated.items()}
             while current:
+                if self._guard is not None:
+                    self._guard.iteration()
                 new_rows: Delta = {}
                 for rule in stratum_rules:
                     relation = self._derived[rule.head.predicate]
@@ -301,6 +352,8 @@ class MaterializedDatabase:
         overdeleted: Delta = {p: set(rows) for p, rows in deleted.items()}
         frontier: Delta = {p: set(rows) for p, rows in deleted.items()}
         while frontier:
+            if self._guard is not None:
+                self._guard.iteration()
             next_frontier: Delta = {}
             for rule in self._rules:
                 head_pred = rule.head.predicate

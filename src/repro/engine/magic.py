@@ -177,13 +177,27 @@ def magic_conjunction(
     kb: KnowledgeBase,
     conjunction: Sequence[Atom],
     max_derived_facts: int | None = None,
+    guard=None,
 ) -> Iterator[Substitution]:
-    """Enumerate solutions of a conjunction via magic-sets evaluation."""
+    """Enumerate solutions of a conjunction via magic-sets evaluation.
+
+    *guard* (a :class:`~repro.engine.guard.ResourceGuard`) governs the inner
+    bottom-up evaluation; in degrade mode a tripped budget yields the goal
+    rows derived so far (a sound under-approximation) instead of raising.
+    """
+    from repro.errors import ResourceExhausted
+    from repro.engine.guard import degrade_catch
     from repro.engine.joins import bind_row
 
     program = magic_rewrite(kb, conjunction)
-    engine = SemiNaiveEngine(program.kb, max_derived_facts=max_derived_facts)
-    relation = engine.derived_relation(program.goal.predicate)
+    engine = SemiNaiveEngine(
+        program.kb, max_derived_facts=max_derived_facts, guard=guard
+    )
+    try:
+        relation = engine.derived_relation(program.goal.predicate)
+    except ResourceExhausted as error:
+        degrade_catch(guard, error)  # re-raises unless the guard degrades
+        relation = engine.partial_relation(program.goal.predicate)
     for row in relation.rows():
         theta = bind_row(program.goal, row, Substitution.EMPTY)
         if theta is not None:

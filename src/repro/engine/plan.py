@@ -335,9 +335,13 @@ class ConjunctionPlan:
         self.schema = schema
         self.steps = steps
 
-    def execute(self, relations: RelationView) -> Batch:
+    def execute(self, relations: RelationView, guard=None) -> Batch:
+        """Run the plan; *guard* (a :class:`~repro.engine.guard.ResourceGuard`)
+        is checkpointed at every step boundary, charged with the batch size."""
         batch: Batch = [()]
         for step in self.steps:
+            if guard is not None:
+                guard.tick(len(batch))
             batch = step.run(batch, relations)
             if not batch:
                 return []
@@ -359,8 +363,8 @@ class RulePlan:
         self.plan = plan
         self.head_template = head_template
 
-    def execute(self, relations: RelationView) -> list[Row]:
-        batch = self.plan.execute(relations)
+    def execute(self, relations: RelationView, guard=None) -> list[Row]:
+        batch = self.plan.execute(relations, guard)
         if not batch:
             return []
         template = self.head_template

@@ -24,9 +24,10 @@ from __future__ import annotations
 
 from typing import Iterator, Sequence
 
-from repro.errors import EvaluationLimitError, SafetyError
+from repro.errors import SafetyError
 from repro.catalog.database import KnowledgeBase
 from repro.catalog.relation import Relation, Row
+from repro.engine.guard import ResourceGuard
 from repro.engine.joins import bind_row, join_conjunction, order_conjuncts, relation_cost_estimator
 from repro.engine.plan import RulePlan, check_executor, compile_rule
 from repro.engine.safety import check_rule_safety
@@ -47,11 +48,15 @@ class SemiNaiveEngine:
     kb:
         The knowledge base to evaluate.
     max_derived_facts:
-        Optional budget; exceeding it raises
+        Legacy fact budget; shorthand for ``guard=ResourceGuard(max_facts=N)``
+        (ignored when an explicit *guard* is given).  Exceeding it raises
         :class:`~repro.errors.EvaluationLimitError`.
     executor:
         ``"batch"`` for the set-at-a-time hash-join executor (default),
         ``"nested"`` for the tuple-at-a-time reference executor.
+    guard:
+        A :class:`~repro.engine.guard.ResourceGuard` governing the whole
+        evaluation (deadline, fact/step/iteration budgets, cancellation).
     """
 
     def __init__(
@@ -59,10 +64,18 @@ class SemiNaiveEngine:
         kb: KnowledgeBase,
         max_derived_facts: int | None = None,
         executor: str = "batch",
+        guard: ResourceGuard | None = None,
     ) -> None:
         check_executor(executor)
+        if max_derived_facts is not None and max_derived_facts < 1:
+            raise ValueError(
+                f"max_derived_facts must be at least 1, got {max_derived_facts!r} "
+                "(omit the argument to disable the budget)"
+            )
+        if guard is None and max_derived_facts is not None:
+            guard = ResourceGuard(max_facts=max_derived_facts)
         self._kb = kb
-        self._max_derived = max_derived_facts
+        self._guard = guard
         self._executor = executor
         self._derived: dict[str, Relation] = {}
         self._delta: dict[str, Relation] = {}
@@ -107,10 +120,24 @@ class SemiNaiveEngine:
         """Total number of derived facts materialised so far."""
         return sum(len(r) for r in self._derived.values())
 
+    def partial_relation(self, predicate: str) -> Relation:
+        """The current (possibly incomplete) materialisation of a predicate.
+
+        Used by degrade-mode callers after a budget trips mid-fixpoint: the
+        rows present are genuinely derivable (bottom-up derivation is
+        monotone), so the partial relation is a sound under-approximation.
+        """
+        return self._relation(predicate)
+
     @property
     def executor(self) -> str:
         """The executor this engine evaluates rule bodies with."""
         return self._executor
+
+    @property
+    def guard(self) -> ResourceGuard | None:
+        """The resource guard governing this engine (``None`` = unbounded)."""
+        return self._guard
 
     # -- internals -------------------------------------------------------------------
 
@@ -177,13 +204,14 @@ class SemiNaiveEngine:
         ``(rule, delta-position)`` for the stratum; with the batch executor
         the whole body runs as cached-plan hash joins.
         """
+        guard = self._guard
         if self._executor == "batch":
             plan = self._plans.get(plan_key)
             if plan is None:
                 estimate = relation_cost_estimator(self._relation_view)
                 plan = compile_rule(rule, estimate=estimate)
                 self._plans[plan_key] = plan
-            return plan.execute(self._relation_view)
+            return plan.execute(self._relation_view, guard)
         ordered = self._orders.get(plan_key)
         if ordered is None:
             estimate = relation_cost_estimator(self._relation_view)
@@ -191,16 +219,12 @@ class SemiNaiveEngine:
             self._orders[plan_key] = ordered
         rows: list[Row] = []
         for theta in join_conjunction(self._resolver, ordered, reorder=False):
+            if guard is not None:
+                guard.tick()
             if rule.negated and not self._negatives_absent(rule, theta):
                 continue
             rows.append(self._head_row(rule, theta))
         return rows
-
-    def _check_budget(self) -> None:
-        if self._max_derived is not None and self.fact_count() > self._max_derived:
-            raise EvaluationLimitError(
-                f"derived-fact budget of {self._max_derived} exceeded"
-            )
 
     def _evaluate_stratum(self, stratum: set[str]) -> None:
         kb = self._kb
@@ -214,13 +238,17 @@ class SemiNaiveEngine:
         # Initial round: full evaluation (recursive atoms see empty relations).
         # Rows are materialised before insertion: a rule like a permutation
         # rule reads the very relation its head writes.
+        guard = self._guard
         delta_rows: dict[str, set[Row]] = {p: set() for p in stratum}
         for rule_index, rule in enumerate(rules):
             relation = self._relation(rule.head.predicate)
+            inserted = 0
             for row in self._fire_rule(rule, (rule_index, -1)):
                 if relation.insert(row):
                     delta_rows[rule.head.predicate].add(row)
-        self._check_budget()
+                    inserted += 1
+            if guard is not None and inserted:
+                guard.count_facts(inserted)
 
         recursive_rules = [
             (index, rule, [i for i, b in enumerate(rule.body) if b.predicate in stratum])
@@ -241,6 +269,8 @@ class SemiNaiveEngine:
                 rewritten_rules.append((rule_index, position, rule.with_body(body)))
 
         while any(delta_rows.values()):
+            if guard is not None:
+                guard.iteration()
             self._delta = {
                 p: Relation(self._relation(p).arity, rows) for p, rows in delta_rows.items()
             }
@@ -252,6 +282,7 @@ class SemiNaiveEngine:
                         new_rows[rewritten.head.predicate].add(row)
             for predicate, rows in new_rows.items():
                 self._relation(predicate).insert_many(rows)
+                if guard is not None and rows:
+                    guard.count_facts(len(rows))
             delta_rows = new_rows
             self._delta = {}
-            self._check_budget()

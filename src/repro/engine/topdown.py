@@ -13,9 +13,9 @@ from __future__ import annotations
 
 from typing import Iterator, Sequence
 
-from repro.errors import EvaluationLimitError
 from repro.catalog.database import KnowledgeBase
 from repro.catalog.relation import Row
+from repro.engine.guard import ResourceGuard
 from repro.engine.joins import bind_row, join_conjunction
 from repro.engine.safety import check_rule_safety
 from repro.logic.atoms import Atom
@@ -58,11 +58,34 @@ def key_atom(key: CallKey) -> Atom:
 
 
 class TopDownEngine:
-    """Query-driven evaluator with per-call-pattern answer tables."""
+    """Query-driven evaluator with per-call-pattern answer tables.
 
-    def __init__(self, kb: KnowledgeBase, max_table_rows: int | None = None) -> None:
+    ``max_table_rows`` is the legacy table budget — shorthand for
+    ``guard=ResourceGuard(max_facts=N)`` (each tabled answer counts as one
+    derived fact).  A ``guard`` additionally enforces deadlines, step
+    budgets, and cooperative cancellation.
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        max_table_rows: int | None = None,
+        guard: ResourceGuard | None = None,
+    ) -> None:
+        if max_table_rows is not None and max_table_rows < 1:
+            raise ValueError(
+                f"max_table_rows must be at least 1, got {max_table_rows!r} "
+                "(omit the argument to disable the cap)"
+            )
         self._kb = kb
         self._max_rows = max_table_rows
+        # An externally supplied guard is shared with the negation helper
+        # engine (one global account); the legacy cap builds a private
+        # guard per engine, preserving the historical per-engine semantics.
+        self._shared_guard = guard
+        if guard is None and max_table_rows is not None:
+            guard = ResourceGuard(max_facts=max_table_rows)
+        self._guard = guard
         self._tables: dict[CallKey, set[Row]] = {}
         self._renamer = VariableRenamer()
         self._dirty = False
@@ -94,6 +117,8 @@ class TopDownEngine:
 
     def _saturate(self, conjuncts: Sequence[Atom]) -> None:
         while True:
+            if self._guard is not None:
+                self._guard.iteration()
             self._dirty = False
             before_keys = len(self._tables)
             for _ in join_conjunction(self._resolver, conjuncts):
@@ -137,7 +162,9 @@ class TopDownEngine:
         the number of strata.
         """
         if self._negation_engine is None:
-            self._negation_engine = TopDownEngine(self._kb, self._max_rows)
+            self._negation_engine = TopDownEngine(
+                self._kb, self._max_rows, guard=self._shared_guard
+            )
         return next(iter(self._negation_engine.query((atom,))), None) is not None
 
     def _negatives_absent(self, rule, theta: Substitution) -> bool:
@@ -163,6 +190,8 @@ class TopDownEngine:
         """One pass of answer derivation for a registered call pattern."""
         goal = key_atom(key)
         table = self._tables[key]
+        guard = self._guard
+        added = 0
         for rule in self._kb.rules_for(goal.predicate):
             check_rule_safety(rule)
             renamed = self._renamer.rename_rule(rule)
@@ -170,6 +199,8 @@ class TopDownEngine:
             if theta is None:
                 continue
             for solution in join_conjunction(self._resolver, theta.apply_all(renamed.body), theta):
+                if guard is not None:
+                    guard.tick()
                 if renamed.negated and not self._negatives_absent(renamed, solution):
                     continue
                 head = solution.apply(renamed.head)
@@ -177,6 +208,14 @@ class TopDownEngine:
                     row: Row = tuple(head.args)  # type: ignore[assignment]
                     if row not in table:
                         table.add(row)
+                        added += 1
                         self._dirty = True
-        if self._max_rows is not None and self.answer_count() > self._max_rows:
-            raise EvaluationLimitError(f"table budget of {self._max_rows} rows exceeded")
+        if guard is not None and added:
+            guard.count_facts(
+                added,
+                detail=(
+                    f"while tabling {goal.predicate} "
+                    f"({self.answer_count()} rows tabled across "
+                    f"{self.table_count()} call patterns)"
+                ),
+            )

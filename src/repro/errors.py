@@ -78,8 +78,54 @@ class SafetyError(EngineError):
     """A rule or query is unsafe (unbound head or comparison variables)."""
 
 
-class EvaluationLimitError(EngineError):
+class ResourceExhausted(ReproError):
+    """A query tripped a resource budget (deadline, facts, steps, ...).
+
+    The common base of every budget error, so governed callers can catch one
+    type regardless of which evaluation path (data engines or the
+    derivation-tree search) exhausted its budget.  Structured fields:
+
+    ``budget``
+        which budget tripped — one of ``"deadline"``, ``"facts"``,
+        ``"steps"``, ``"depth"``, ``"iterations"``, ``"cancelled"``;
+    ``consumed``
+        how much of the resource was consumed at trip time;
+    ``limit``
+        the configured limit (seconds for deadlines, counts otherwise).
+
+    Instances survive pickling with their structured fields intact (needed
+    for multi-process evaluation).
+    """
+
+    def __init__(
+        self,
+        message: str = "resource budget exhausted",
+        *,
+        budget: str | None = None,
+        consumed: object = None,
+        limit: object = None,
+    ) -> None:
+        super().__init__(message)
+        self.budget = budget
+        self.consumed = consumed
+        self.limit = limit
+
+    def __reduce__(self):
+        # Exceptions with keyword-only fields need explicit pickle support:
+        # rebuild from the message, then restore the instance dict.
+        return (self.__class__, (str(self),), dict(self.__dict__))
+
+
+class EvaluationLimitError(EngineError, ResourceExhausted):
     """Evaluation exceeded a caller-imposed step or size budget."""
+
+
+class QueryCancelled(ResourceExhausted):
+    """The query's cooperative cancellation token was triggered."""
+
+    def __init__(self, message: str = "query cancelled", **fields: object) -> None:
+        fields.setdefault("budget", "cancelled")
+        ResourceExhausted.__init__(self, message, **fields)  # type: ignore[arg-type]
 
 
 class CoreError(ReproError):
@@ -94,19 +140,36 @@ class TransformError(CoreError):
     """The Imielinski transformation could not be applied to a rule set."""
 
 
-class SearchBudgetExceeded(CoreError):
-    """The derivation-tree search exceeded its step budget.
+class SearchBudgetExceeded(CoreError, ResourceExhausted):
+    """The derivation-tree search exceeded its budget.
 
     Algorithm 1 on recursive subjects is expected to trip this; the error is
     how the library demonstrates the paper's Examples 6-8 divergence.
+
+    Accepts the legacy ``(steps, answers_so_far, reason)`` form as well as
+    the structured ``(message, budget=..., consumed=..., limit=...)`` form
+    shared by the :class:`ResourceExhausted` family.
     """
 
     def __init__(
         self,
-        steps: int,
+        steps: int | str | None = None,
         answers_so_far: list | None = None,
         reason: str | None = None,
+        *,
+        budget: str = "steps",
+        consumed: object = None,
+        limit: object = None,
     ) -> None:
-        super().__init__(reason or f"derivation search exceeded {steps} steps")
-        self.steps = steps
+        if isinstance(steps, str):
+            reason = reason or steps
+            steps = None
+        if steps is not None:
+            consumed = consumed if consumed is not None else steps
+            limit = limit if limit is not None else steps
+        message = reason or f"derivation search exceeded {limit} steps"
+        ResourceExhausted.__init__(
+            self, message, budget=budget, consumed=consumed, limit=limit
+        )
+        self.steps = steps if steps is not None else consumed
         self.answers_so_far = answers_so_far or []

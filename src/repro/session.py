@@ -29,6 +29,7 @@ from repro.core.possibility import PossibilityResult, is_possible
 from repro.core.search import SearchConfig
 from repro.core.wildcard import describe_wildcard
 from repro.engine.evaluate import RetrieveResult, retrieve
+from repro.engine.guard import ResourceGuard
 from repro.lang.ast import (
     CompareStatement,
     ConstraintStatement,
@@ -53,7 +54,14 @@ QueryResult = Union[
 
 
 class Session:
-    """A knowledge base plus the query language on top of it."""
+    """A knowledge base plus the query language on top of it.
+
+    ``guard`` is a resource-governance *specification*: each query runs
+    under a fresh activation of it (:meth:`ResourceGuard.fresh`), so
+    deadlines and counters are per-query while the cancellation token is
+    shared across the session.  A ``guard=`` passed to :meth:`query` /
+    :meth:`execute` overrides the session guard for that one statement.
+    """
 
     def __init__(
         self,
@@ -62,6 +70,7 @@ class Session:
         style: str = "standard",
         config: SearchConfig | None = None,
         executor: str = "batch",
+        guard: ResourceGuard | None = None,
     ) -> None:
         self.kb = kb if kb is not None else KnowledgeBase()
         self.engine = engine
@@ -70,15 +79,28 @@ class Session:
         #: Bottom-up execution model for retrieve statements: "batch"
         #: (set-at-a-time hash joins) or "nested" (tuple-at-a-time).
         self.executor = executor
+        #: Session-wide resource governance specification (see class doc).
+        self.guard = guard
 
     # -- statement execution -------------------------------------------------------
 
-    def query(self, source: str) -> QueryResult:
-        """Parse and evaluate one statement."""
-        return self.execute(parse_statement(source))
+    def _activate(self, guard: ResourceGuard | None) -> ResourceGuard | None:
+        """The guard for one statement: per-query override, fresh counters."""
+        spec = guard if guard is not None else self.guard
+        return spec.fresh() if spec is not None else None
 
-    def execute(self, statement: Statement) -> QueryResult:
+    def query(self, source: str, guard: ResourceGuard | None = None) -> QueryResult:
+        """Parse and evaluate one statement.
+
+        *guard* overrides the session guard for this statement only.
+        """
+        return self.execute(parse_statement(source), guard=guard)
+
+    def execute(
+        self, statement: Statement, guard: ResourceGuard | None = None
+    ) -> QueryResult:
         """Evaluate a parsed statement."""
+        active = self._activate(guard)
         if isinstance(statement, RuleStatement):
             rule = statement.rule
             if rule.is_fact():
@@ -102,31 +124,36 @@ class Session:
                 engine=self.engine,
                 negated_qualifier=statement.negated_qualifier,
                 executor=self.executor,
+                guard=active,
             )
         if isinstance(statement, DescribeStatement):
-            return self._describe(statement)
+            return self._describe(statement, active)
         if isinstance(statement, ExplainStatement):
             from repro.engine.provenance import explain_statement
 
             return explain_statement(self.kb, statement.subject, statement.qualifier)
         if isinstance(statement, CompareStatement):
-            return self._compare(statement)
+            return self._compare(statement, active)
         raise CoreError(f"cannot execute statement: {statement!r}")
 
     # -- describe dispatch ------------------------------------------------------------
 
-    def _describe(self, statement: DescribeStatement) -> QueryResult:
+    def _describe(
+        self, statement: DescribeStatement, guard: ResourceGuard | None = None
+    ) -> QueryResult:
         if statement.wildcard:
             if statement.negated_qualifier:
                 raise CoreError("wildcard describe does not take negated conjuncts")
             return describe_wildcard(
-                self.kb, statement.qualifier, config=self.config, style=self.style
+                self.kb, statement.qualifier, config=self.config, style=self.style,
+                guard=guard,
             )
         if statement.subject is None:
             if statement.negated_qualifier:
                 raise CoreError("subjectless describe does not take negated conjuncts")
             return is_possible(
-                self.kb, statement.qualifier, config=self.config, style=self.style
+                self.kb, statement.qualifier, config=self.config, style=self.style,
+                guard=guard,
             )
         if statement.negated_qualifier:
             if len(statement.negated_qualifier) != 1 or statement.qualifier:
@@ -140,6 +167,7 @@ class Session:
                 statement.negated_qualifier[0],
                 config=self.config,
                 style=self.style,
+                guard=guard,
             )
         if statement.alternatives:
             from repro.core.disjunction import describe_disjunctive
@@ -152,6 +180,7 @@ class Session:
                 (statement.qualifier, *statement.alternatives),
                 style=self.style,
                 config=self.config,
+                guard=guard,
             )
         if statement.necessary:
             return describe_necessary(
@@ -160,6 +189,7 @@ class Session:
                 statement.qualifier,
                 style=self.style,
                 config=self.config,
+                guard=guard,
             )
         return describe(
             self.kb,
@@ -167,9 +197,12 @@ class Session:
             statement.qualifier,
             style=self.style,
             config=self.config,
+            guard=guard,
         )
 
-    def _compare(self, statement: CompareStatement) -> ConceptComparison:
+    def _compare(
+        self, statement: CompareStatement, guard: ResourceGuard | None = None
+    ) -> ConceptComparison:
         left, right = statement.left, statement.right
         if left.subject is None or right.subject is None or left.wildcard or right.wildcard:
             raise CoreError("compare requires two subjects")
@@ -181,20 +214,26 @@ class Session:
             right_hypothesis=right.qualifier,
             config=self.config,
             style=self.style,
+            guard=guard,
         )
 
     # -- convenience ------------------------------------------------------------------
 
     def load(self, source: str) -> int:
-        """Load a program (facts, rules, constraints); returns the count."""
+        """Load a program (facts, rules, constraints), atomically.
+
+        Returns the statement count.  All-or-nothing: if any definition is
+        invalid, the knowledge base is left exactly as it was.
+        """
         from repro.lang.parser import parse_program
 
         program = parse_program(source)
         count = 0
-        for statement in program.statements:
-            if isinstance(statement, (RuleStatement, ConstraintStatement)):
-                self.execute(statement)
-                count += 1
-            else:
-                raise CoreError("load() accepts definitions only; use query()")
+        with self.kb.transaction():
+            for statement in program.statements:
+                if isinstance(statement, (RuleStatement, ConstraintStatement)):
+                    self.execute(statement)
+                    count += 1
+                else:
+                    raise CoreError("load() accepts definitions only; use query()")
         return count

@@ -1,0 +1,208 @@
+"""Transactions: all-or-nothing catalog mutation and atomic persistence."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.catalog import KnowledgeBase, export_csv, import_csv, load_kb, save_kb
+from repro.catalog.loader import load_program
+from repro.catalog.relation import Relation
+from repro.engine.guard import ResourceGuard
+from repro.errors import ArityError, CatalogError, ReproError, ResourceExhausted
+from repro.lang.parser import parse_rule
+from repro.session import Session
+
+
+def small_kb() -> KnowledgeBase:
+    kb = KnowledgeBase("t")
+    kb.declare_edb("parent", 2)
+    kb.add_fact("parent", "ann", "bob")
+    kb.add_fact("parent", "bob", "cal")
+    kb.add_rule(parse_rule("grandparent(X, Z) <- parent(X, Y) and parent(Y, Z)"))
+    return kb
+
+
+def state(kb: KnowledgeBase) -> tuple:
+    return (
+        sorted(kb.edb_predicates()),
+        sorted(kb.idb_predicates()),
+        {n: set(kb.facts(n)) for n in kb.edb_predicates()},
+        [str(r) for r in kb.rules()],
+        [str(c) for c in kb.constraints()],
+    )
+
+
+class TestRelationCheckpoint:
+    def test_restore_resets_rows(self):
+        relation = Relation(2, [(1, 2), (3, 4)])
+        snapshot = relation.checkpoint()
+        relation.insert((5, 6))
+        relation.delete(relation.rows()[0])
+        relation.restore(snapshot)
+        assert {tuple(c.value for c in row) for row in relation.rows()} == {(1, 2), (3, 4)}
+
+    def test_restore_bumps_version_and_rebuilds_indexes(self):
+        relation = Relation(2, [(1, 2), (1, 3), (2, 4)])
+        list(relation.lookup([relation.rows()[0][0], None]))  # force an index
+        snapshot = relation.checkpoint()
+        relation.insert((9, 9))
+        version = relation.version
+        relation.restore(snapshot)
+        assert relation.version > version
+        probe = relation.rows()[0][0]
+        assert {r for r in relation.lookup([probe, None])} == {
+            r for r in relation.rows() if r[0] == probe
+        }
+        assert relation.distinct_count(0) == 2
+
+
+class TestKBTransaction:
+    def test_commit_keeps_mutations(self):
+        kb = small_kb()
+        with kb.transaction():
+            kb.add_fact("parent", "cal", "dan")
+            kb.add_rule(parse_rule("ancestor(X, Y) <- parent(X, Y)"))
+        assert len(kb.facts("parent")) == 3
+        assert any("ancestor" in str(r) for r in kb.rules())
+
+    def test_rollback_restores_everything(self):
+        kb = small_kb()
+        before = state(kb)
+        with pytest.raises(RuntimeError):
+            with kb.transaction():
+                kb.add_fact("parent", "cal", "dan")
+                kb.declare_edb("employee", 3)
+                kb.add_fact("employee", "eve", "sales", 10)
+                kb.add_rule(parse_rule("ancestor(X, Y) <- parent(X, Y)"))
+                raise RuntimeError("boom")
+        assert state(kb) == before
+
+    def test_nested_transactions_join_the_outer_span(self):
+        kb = small_kb()
+        before = state(kb)
+        with pytest.raises(RuntimeError):
+            with kb.transaction():
+                kb.add_fact("parent", "cal", "dan")
+                with kb.transaction():  # joins, does not commit independently
+                    kb.add_fact("parent", "dan", "eve")
+                raise RuntimeError("boom")
+        assert state(kb) == before
+
+    def test_untouched_relations_are_not_copied(self):
+        kb = small_kb()
+        kb.declare_edb("big", 1)
+        kb.add_facts("big", [(i,) for i in range(100)])
+        with kb.transaction() as tx:
+            kb.add_fact("parent", "cal", "dan")
+            assert "parent" in tx._touched
+            assert "big" not in tx._touched
+
+
+class TestAtomicLoad:
+    def test_load_program_rolls_back_on_bad_rule(self):
+        kb = small_kb()
+        before = state(kb)
+        with pytest.raises(ReproError):
+            load_program(kb, "parent(x, y). parent(one, two, three).")
+        assert state(kb) == before
+
+    def test_load_program_commits_good_programs(self):
+        kb = small_kb()
+        count = load_program(kb, "parent(cal, dan). sibling(X, Y) <- parent(Z, X) and parent(Z, Y).")
+        assert count == 2
+        assert len(kb.facts("parent")) == 3
+
+    def test_session_load_is_atomic(self):
+        session = Session(small_kb())
+        before = state(session.kb)
+        with pytest.raises(ReproError):
+            session.load("parent(cal, dan). retrieve parent(X, Y)")
+        assert state(session.kb) == before
+
+
+class TestAtomicImportCsv:
+    def test_malformed_row_leaves_kb_untouched(self, tmp_path):
+        kb = small_kb()
+        before = state(kb)
+        path = tmp_path / "emp.csv"
+        path.write_text("name,dept\neve,sales\nmal\n")
+        with pytest.raises(CatalogError):
+            import_csv(kb, "employee", str(path))
+        assert state(kb) == before
+        assert "employee" not in kb.edb_predicates()
+
+    def test_existing_relation_restored_on_failure(self, tmp_path):
+        kb = small_kb()
+        path = tmp_path / "parent.csv"
+        path.write_text("a,b\ncal,dan\nbad_row_with,too,many\n")
+        with pytest.raises(CatalogError):
+            import_csv(kb, "parent", str(path))
+        assert len(kb.facts("parent")) == 2
+
+    def test_guard_trip_rolls_back_import(self, tmp_path):
+        kb = small_kb()
+        before = state(kb)
+        path = tmp_path / "emp.csv"
+        path.write_text("name,dept\n" + "\n".join(f"p{i},d{i}" for i in range(50)))
+        with pytest.raises(ResourceExhausted):
+            import_csv(kb, "employee", str(path), guard=ResourceGuard(max_steps=10))
+        assert state(kb) == before
+
+    def test_good_import_lands_fully(self, tmp_path):
+        kb = small_kb()
+        path = tmp_path / "emp.csv"
+        path.write_text("name,dept\neve,sales\nfay,dev\n")
+        assert import_csv(kb, "employee", str(path)) == 2
+        assert len(kb.facts("employee")) == 2
+
+
+class TestAtomicWriters:
+    def test_save_kb_roundtrips_and_leaves_no_temp_files(self, tmp_path):
+        kb = small_kb()
+        path = tmp_path / "kb.json"
+        save_kb(kb, str(path))
+        assert state(load_kb(str(path))) == state(kb)
+        assert [n for n in os.listdir(tmp_path) if n.endswith(".tmp")] == []
+
+    def test_save_kb_replaces_existing_file_atomically(self, tmp_path):
+        kb = small_kb()
+        path = tmp_path / "kb.json"
+        path.write_text("old contents")
+        save_kb(kb, str(path))
+        assert state(load_kb(str(path))) == state(kb)
+
+    def test_export_csv_roundtrips(self, tmp_path):
+        kb = small_kb()
+        path = tmp_path / "parent.csv"
+        assert export_csv(kb, "parent", str(path)) == 2
+        other = KnowledgeBase("o")
+        assert import_csv(other, "parent", str(path)) == 2
+        assert set(other.facts("parent")) == set(kb.facts("parent"))
+        assert [n for n in os.listdir(tmp_path) if n.endswith(".tmp")] == []
+
+    def test_failed_serialisation_preserves_existing_dump(self, tmp_path, monkeypatch):
+        kb = small_kb()
+        path = tmp_path / "kb.json"
+        save_kb(kb, str(path))
+        good = path.read_text()
+
+        import repro.catalog.persist as persist
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("disk full")
+
+        monkeypatch.setattr(persist.os, "replace", explode)
+        with pytest.raises(RuntimeError):
+            save_kb(kb, str(path))
+        assert path.read_text() == good
+        assert [n for n in os.listdir(tmp_path) if n.endswith(".tmp")] == []
+
+
+class TestArityErrorStillEager:
+    def test_add_fact_arity_error_outside_transaction(self):
+        kb = small_kb()
+        with pytest.raises(ArityError):
+            kb.add_fact("parent", "only-one")
+        assert len(kb.facts("parent")) == 2

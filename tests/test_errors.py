@@ -1,5 +1,7 @@
 """The exception hierarchy: every error is a ReproError with useful text."""
 
+import pickle
+
 import pytest
 
 from repro import errors
@@ -67,3 +69,67 @@ class TestBudgetError:
     def test_partial_answers_carried(self):
         error = errors.SearchBudgetExceeded(10, answers_so_far=["a"])
         assert error.answers_so_far == ["a"]
+
+
+class TestResourceExhausted:
+    """Both budget errors unify under one catchable mixin (PR 2)."""
+
+    @pytest.mark.parametrize(
+        "subclass",
+        [errors.EvaluationLimitError, errors.SearchBudgetExceeded, errors.QueryCancelled],
+    )
+    def test_resource_errors_catchable_two_ways(self, subclass):
+        assert issubclass(subclass, errors.ResourceExhausted)
+        assert issubclass(subclass, errors.ReproError)
+
+    def test_evaluation_limit_stays_an_engine_error(self):
+        assert issubclass(errors.EvaluationLimitError, errors.EngineError)
+
+    def test_search_budget_stays_a_core_error(self):
+        assert issubclass(errors.SearchBudgetExceeded, errors.CoreError)
+
+    def test_structured_fields(self):
+        error = errors.EvaluationLimitError(
+            "fact budget exceeded", budget="facts", consumed=120, limit=100
+        )
+        assert error.budget == "facts"
+        assert error.consumed == 120
+        assert error.limit == 100
+
+    @pytest.mark.parametrize(
+        "error",
+        [
+            errors.EvaluationLimitError(
+                "fact budget exceeded", budget="facts", consumed=120, limit=100
+            ),
+            errors.SearchBudgetExceeded(
+                reason="step budget exceeded", budget="steps", consumed=5001, limit=5000
+            ),
+            errors.QueryCancelled(consumed=17),
+        ],
+    )
+    def test_structured_fields_survive_pickling(self, error):
+        clone = pickle.loads(pickle.dumps(error))
+        assert type(clone) is type(error)
+        assert str(clone) == str(error)
+        assert clone.budget == error.budget
+        assert clone.consumed == error.consumed
+        assert clone.limit == error.limit
+
+    def test_engine_trip_is_picklable_end_to_end(self):
+        from repro.engine.guard import ResourceGuard
+        from repro.engine.seminaive import SemiNaiveEngine
+        from repro.catalog.database import KnowledgeBase
+        from repro.lang.parser import parse_rule
+
+        kb = KnowledgeBase()
+        kb.declare_edb("edge", 2)
+        for i in range(20):
+            kb.add_fact("edge", i, i + 1)
+        kb.add_rule(parse_rule("path(X, Y) <- edge(X, Y)"))
+        kb.add_rule(parse_rule("path(X, Z) <- edge(X, Y) and path(Y, Z)"))
+        engine = SemiNaiveEngine(kb, guard=ResourceGuard(max_facts=10))
+        with pytest.raises(errors.ResourceExhausted) as info:
+            engine.evaluate(["path"])
+        clone = pickle.loads(pickle.dumps(info.value))
+        assert clone.budget == "facts" and clone.limit == 10
