@@ -1,0 +1,76 @@
+"""Perf-regression gate for the materialized view cache.
+
+Re-runs the cache benchmark scenarios at the committed baseline's tier and
+fails (exit 1) if any cached warm-query scenario's warm-vs-cold speedup has
+fallen below ``THRESHOLD`` x the speedup recorded in the committed
+``BENCH_engine.json``.  Wall-clock medians are too noisy to gate on in
+shared CI runners; speedup *ratios* (cold and warm measured in the same
+process, same machine) are stable, so the gate compares those.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+    PYTHONPATH=src python benchmarks/check_regression.py --baseline BENCH_engine.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from run_benchmarks import TIERS, cache_metrics
+
+#: A fresh warm-query speedup below this fraction of the committed one fails.
+THRESHOLD = 0.5
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_engine.json",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=THRESHOLD,
+        help="minimum fresh/baseline speedup ratio",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    recorded = baseline.get("cache", {})
+    warm_scenarios = {
+        name: entry
+        for name, entry in recorded.items()
+        if name.startswith("warm_repeat/") and entry.get("speedup")
+    }
+    if not warm_scenarios:
+        print(f"no cached warm-query scenarios in {args.baseline}; nothing to gate")
+        return 1
+
+    tier = baseline.get("meta", {}).get("tier", "smoke")
+    sizes = TIERS[tier]
+    fresh = cache_metrics(sizes, sizes["repeats"])
+
+    failures = []
+    for name, entry in sorted(warm_scenarios.items()):
+        required = entry["speedup"] * args.threshold
+        measured = fresh[name]["speedup"] or 0.0
+        verdict = "ok" if measured >= required else "REGRESSION"
+        print(
+            f"{name:30s} baseline {entry['speedup']:.1f}x  "
+            f"measured {measured:.1f}x  required >= {required:.1f}x  {verdict}"
+        )
+        if measured < required:
+            failures.append(name)
+    if failures:
+        print(f"\ncache perf regression in: {', '.join(failures)}")
+        return 1
+    print("\ncache warm-query speedups within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

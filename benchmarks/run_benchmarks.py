@@ -7,6 +7,14 @@ be tracked across PRs.  Every bottom-up scenario runs under both executors
 (``batch`` hash joins vs the ``nested`` tuple-at-a-time reference), and the
 paired speedups are reported alongside.
 
+The ``cache`` section measures the materialized view cache: warm/cold
+repeated-query scenarios (hit rate and warm-vs-cold speedup through the
+session memo) and mutate-then-requery scenarios (incremental refresh of a
+single-fact delta vs a cold recompute).
+
+Besides overwriting the current snapshot, every run appends a timestamped
+entry to ``BENCH_history.json`` so the perf trajectory survives across PRs.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py            # default tier
@@ -20,12 +28,14 @@ import json
 import statistics
 import sys
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.engine import retrieve
 from repro.engine.guard import ResourceGuard
 from repro.engine.plan import EXECUTORS
 from repro.engine.seminaive import SemiNaiveEngine
+from repro.session import Session
 from repro.datasets import (
     chain_graph_kb,
     component_graph_kb,
@@ -142,6 +152,89 @@ def scenarios(sizes):
     }
 
 
+def _cache_workloads(sizes):
+    """Name -> (kb factory, query, EDB predicate to mutate)."""
+    return {
+        "chain": (
+            lambda: chain_graph_kb(sizes["chain_length"]),
+            "retrieve path(X, Y)",
+            "edge",
+        ),
+        "university": (
+            lambda: scaled_university_kb(sizes["students"], seed=11),
+            "retrieve honor(X)",
+            "student",
+        ),
+    }
+
+
+def cache_metrics(sizes, repeats: int) -> dict:
+    """Warm/cold and mutate-then-requery measurements of the view cache.
+
+    ``warm_repeat/*`` runs one cold query then warm repeats through a
+    cached session: the warm path is a fingerprint probe, so the speedup is
+    the serving win on an unchanged knowledge base.  ``mutate_requery/*``
+    deletes and re-inserts a single stored fact between queries: the cached
+    session repairs its views through delta propagation / DRed, the
+    uncached session recomputes the fixpoint cold.
+    """
+    rounds = max(repeats, 3)
+    results: dict[str, dict] = {}
+    for name, (make_kb, query, victim) in _cache_workloads(sizes).items():
+        session = Session(make_kb())
+        start = time.perf_counter()
+        session.query(query)
+        cold_s = time.perf_counter() - start
+        warm = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            session.query(query)
+            warm.append(time.perf_counter() - start)
+        warm_s = statistics.median(warm)
+        stats = session.cache_stats()
+        results[f"warm_repeat/{name}"] = {
+            "cold_s": round(cold_s, 6),
+            "warm_median_s": round(warm_s, 6),
+            "speedup": round(cold_s / warm_s, 2) if warm_s > 0 else None,
+            "memo_hit_rate": round(
+                stats["statement_hits"]
+                / max(stats["statement_hits"] + stats["statement_misses"], 1),
+                4,
+            ),
+        }
+
+        # Mutate-then-requery: alternate deleting and re-inserting one fact
+        # so every requery faces a fresh single-row EDB delta.
+        cached = Session(make_kb())
+        uncached = Session(cached.kb, cache=False)
+        cached.query(query)
+        row = cached.kb.relation(victim).rows()[0]
+        incremental, recompute = [], []
+        for times, session in ((incremental, cached), (recompute, uncached)):
+            for index in range(rounds):
+                relation = cached.kb.relation(victim)
+                if index % 2 == 0:
+                    relation.delete(row)
+                else:
+                    relation.insert(row)
+                start = time.perf_counter()
+                session.query(query)
+                times.append(time.perf_counter() - start)
+            if len(times) % 2:  # leave the fact present for the next phase
+                cached.kb.relation(victim).insert(row)
+        incremental_s = statistics.median(incremental)
+        recompute_s = statistics.median(recompute)
+        results[f"mutate_requery/{name}"] = {
+            "incremental_median_s": round(incremental_s, 6),
+            "recompute_median_s": round(recompute_s, 6),
+            "speedup": (
+                round(recompute_s / incremental_s, 2) if incremental_s > 0 else None
+            ),
+            "incremental_refreshes": cached.cache_stats()["incremental_refreshes"],
+        }
+    return results
+
+
 def run_tier(tier: str, repeats: int | None = None) -> dict:
     sizes = TIERS[tier]
     repeats = repeats or sizes["repeats"]
@@ -179,7 +272,33 @@ def run_tier(tier: str, repeats: int | None = None) -> dict:
         "scenarios": results,
         "speedups": speedups,
         "guard_overhead": guard_overhead,
+        "cache": cache_metrics(sizes, repeats),
     }
+
+
+def append_history(report: dict, path: Path) -> None:
+    """Append a timestamped summary entry to the trajectory file.
+
+    The snapshot file is overwritten every run; the history keeps the
+    derived metrics (speedups, guard overhead, cache behaviour) so the
+    perf trajectory across PRs is not lost.
+    """
+    try:
+        history = json.loads(path.read_text())
+        if not isinstance(history, list):
+            history = []
+    except (OSError, ValueError):
+        history = []
+    history.append(
+        {
+            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "tier": report["meta"]["tier"],
+            "speedups": report["speedups"],
+            "guard_overhead": report["guard_overhead"],
+            "cache": report["cache"],
+        }
+    )
+    path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
 
 
 def main(argv=None) -> int:
@@ -191,12 +310,23 @@ def main(argv=None) -> int:
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_engine.json",
     )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_history.json",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="skip appending to the trajectory file",
+    )
     args = parser.parse_args(argv)
     if args.repeats is not None and args.repeats < 1:
         parser.error("--repeats must be at least 1")
 
     report = run_tier(args.tier, args.repeats)
     args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    if not args.no_history:
+        append_history(report, args.history)
 
     for name, entry in sorted(report["scenarios"].items()):
         print(f"{name:40s} {entry['median_s']:.4f}s  ({entry['facts']} facts)")
@@ -206,6 +336,11 @@ def main(argv=None) -> int:
     for executor, factor in sorted(report["guard_overhead"].items()):
         label = f"guard overhead [{executor}]"
         print(f"{label:40s} {factor:.3f}x ungoverned")
+    print()
+    for name, entry in sorted(report["cache"].items()):
+        speedup = entry.get("speedup")
+        label = "warm/cold" if name.startswith("warm_repeat") else "incr/recompute"
+        print(f"cache {name:34s} {label} speedup {speedup}x")
     print(f"\nwrote {args.output}")
     return 0
 

@@ -58,6 +58,13 @@ class KnowledgeBase:
         self._graph: DependencyGraph | None = None
         #: The open transaction, if any (see :meth:`transaction`).
         self._tx = None
+        #: Monotone counters for external version-keyed caches: the first
+        #: changes whenever the rule set or the predicate catalog changes
+        #: (anything that can alter what is derivable, facts aside), the
+        #: second whenever the constraint set changes.  Transaction rollback
+        #: bumps both past every mid-transaction value.
+        self._rules_version = 0
+        self._constraints_version = 0
 
     # -- transactions -------------------------------------------------------------
 
@@ -133,6 +140,7 @@ class KnowledgeBase:
                 )
             return
         self._schemas[schema.name] = schema
+        self._rules_version += 1
 
     def schema(self, name: str) -> PredicateSchema:
         """The schema of a declared predicate (raises if unknown)."""
@@ -232,6 +240,7 @@ class KnowledgeBase:
                     f"rule {rule} creates recursion through negation ({pairs}); "
                     "only stratified rule sets are supported"
                 )
+        self._rules_version += 1
         if self.enforce_recursion_discipline:
             self._check_recursion_discipline(rule)
 
@@ -302,6 +311,7 @@ class KnowledgeBase:
     def add_constraint(self, constraint: IntegrityConstraint) -> None:
         """Add an integrity constraint (used for validation, not inference)."""
         self._constraints.append(constraint)
+        self._constraints_version += 1
 
     def constraints(self) -> list[IntegrityConstraint]:
         """All integrity constraints."""
@@ -324,6 +334,23 @@ class KnowledgeBase:
                 )
 
     # -- analysis ---------------------------------------------------------------------
+
+    @property
+    def rules_version(self) -> int:
+        """Mutation counter over the rule set and predicate catalog.
+
+        Changes whenever what is *derivable* can change for reasons other
+        than stored facts: a rule added, a predicate declared, a transaction
+        rolled back.  Version-keyed caches (:mod:`repro.engine.viewcache`)
+        pair it with per-relation :attr:`~repro.catalog.relation.Relation.version`
+        counters to fingerprint a query's full dependency state.
+        """
+        return self._rules_version
+
+    @property
+    def constraints_version(self) -> int:
+        """Mutation counter over the integrity-constraint set."""
+        return self._constraints_version
 
     def dependency_graph(self) -> DependencyGraph:
         """The (cached) dependency graph of the current rule set."""

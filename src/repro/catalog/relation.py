@@ -8,6 +8,7 @@ deductive engine.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Iterable, Iterator, Sequence
 
 from repro.errors import ArityError, CatalogError
@@ -15,6 +16,12 @@ from repro.logic.terms import Constant, Term, is_constant, make_term
 
 #: A stored tuple: constants only.
 Row = tuple[Constant, ...]
+
+#: How many recent mutations a relation's change journal retains.  Deltas
+#: older than the journal window (or spanning a :meth:`Relation.restore` /
+#: :meth:`Relation.clear`) are reported as unavailable, forcing dependent
+#: caches to fall back to full recomputation.
+JOURNAL_LIMIT = 1024
 
 
 class Relation:
@@ -37,6 +44,10 @@ class Relation:
         self._version = 0
         #: Memoized per-column distinct counts: column -> (version, count).
         self._stats: dict[int, tuple[int, int]] = {}
+        #: Bounded change journal: entry i records the mutation that took the
+        #: relation from version ``_journal_base + i`` to ``+ i + 1``.
+        self._journal: deque[tuple[str, Row]] = deque()
+        self._journal_base = 0
         for row in rows:
             self.insert(row)
 
@@ -60,6 +71,7 @@ class Relation:
             return False
         self._rows[coerced] = None
         self._version += 1
+        self._log("+", coerced)
         for column, index in self._indexes.items():
             index.setdefault(coerced[column], {})[coerced] = None
         return True
@@ -78,6 +90,7 @@ class Relation:
             return False
         del self._rows[coerced]
         self._version += 1
+        self._log("-", coerced)
         for column, index in self._indexes.items():
             bucket = index.get(coerced[column])
             if bucket is not None:
@@ -92,6 +105,39 @@ class Relation:
         self._indexes.clear()
         self._stats.clear()
         self._version += 1
+        self._reset_journal()
+
+    def _log(self, op: str, row: Row) -> None:
+        self._journal.append((op, row))
+        if len(self._journal) > JOURNAL_LIMIT:
+            self._journal.popleft()
+            self._journal_base += 1
+
+    def _reset_journal(self) -> None:
+        """Forget the journal after a wholesale state change (clear/restore).
+
+        Deltas spanning the reset become unreconstructable, which is exactly
+        right: the mutation was not row-at-a-time, so version-keyed caches
+        must recompute from scratch.
+        """
+        self._journal.clear()
+        self._journal_base = self._version
+
+    def changes_since(self, version: int) -> list[tuple[str, Row]] | None:
+        """The mutations applied since *version*, oldest first, or ``None``.
+
+        Each entry is ``("+", row)`` for an insert or ``("-", row)`` for a
+        delete.  ``None`` means the journal cannot reconstruct the delta —
+        *version* predates the journal window, or a :meth:`clear` /
+        :meth:`restore` intervened — and the caller must treat the whole
+        relation as changed.
+        """
+        if version == self._version:
+            return []
+        if version < self._journal_base or version > self._version:
+            return None
+        start = version - self._journal_base
+        return list(self._journal)[start:]
 
     # -- access ---------------------------------------------------------------------
 
@@ -151,12 +197,15 @@ class Relation:
             return
         probe_column, probe_value = bound[0]
         if len(bound) > 1 and self._rows:
-            # Prefer the column whose index bucket is smallest.
-            best_size = None
+            # Prefer the column with the most distinct values (smallest
+            # expected bucket).  distinct_count is memoized, so choosing the
+            # probe costs no index builds; only the winner's index is
+            # materialised below.
+            best_count = -1
             for column, value in bound:
-                bucket = self._index_for(column).get(value, [])  # type: ignore[arg-type]
-                if best_size is None or len(bucket) < best_size:
-                    best_size = len(bucket)
+                count = self.distinct_count(column)
+                if count > best_count:
+                    best_count = count
                     probe_column, probe_value = column, value
         candidates = self._index_for(probe_column).get(probe_value, [])  # type: ignore[arg-type]
         rest = [(i, v) for i, v in bound if i != probe_column]
@@ -209,3 +258,4 @@ class Relation:
         self._indexes.clear()
         self._stats.clear()
         self._version += 1
+        self._reset_journal()

@@ -73,6 +73,10 @@ class KBTransaction:
         kb._rules_by_head = self._rules_by_head
         kb._constraints = self._constraints
         kb._graph = None
+        # Restoring older catalog state must not revive version-keyed cache
+        # entries: bump the counters past every mid-transaction value.
+        kb._rules_version += 1
+        kb._constraints_version += 1
         for name in list(kb._relations):
             if name not in self._relation_names:
                 del kb._relations[name]

@@ -13,13 +13,19 @@ Inside the shell, type any statement of the language::
     describe where student(X, Y, Z) and (Z < 3.5) and can_ta(X, U)
     compare (describe can_ta(X, Y)) with (describe honor(X))
 
-plus the meta commands ``.catalog``, ``.rules``, ``.help`` and ``.quit``.
+plus the meta commands ``.catalog``, ``.rules``, ``.cache``, ``.help`` and
+``.quit``.
+
+``dbk cache`` (a subcommand) demonstrates the materialized view cache on a
+bundled dataset: it runs a cold query, warm repeats, and a
+mutate-then-requery round, then prints the cache statistics and speedup.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.errors import ReproError
 from repro.catalog.database import KnowledgeBase
@@ -46,7 +52,7 @@ Statements:
   explain subject [where qualifier]          proofs for a query's answers
   compare (describe p) with (describe q)     concept comparison
 Meta:
-  .catalog  .rules  .load FILE  .help  .quit
+  .catalog  .rules  .load FILE  .cache  .cache clear  .help  .quit
 """
 
 
@@ -96,6 +102,72 @@ def render(result: object) -> str:
     return str(result)
 
 
+def format_cache_stats(session: Session) -> str:
+    """The ``.cache`` meta command's rendering of the session cache."""
+    stats = session.cache_stats()
+    if not stats.pop("enabled"):
+        return "cache disabled (start without --no-cache to enable)"
+    lines = ["materialized view cache:"]
+    for key, value in stats.items():
+        lines.append(f"  {key:22} {value}")
+    return "\n".join(lines)
+
+
+def run_cache_report(args: argparse.Namespace, out=None) -> int:
+    """``dbk cache``: demonstrate the view cache on a bundled dataset.
+
+    Runs one cold query, warm repeats, and a mutate-then-requery round,
+    then prints the cache statistics and the observed warm/cold speedup.
+    """
+    out = out if out is not None else sys.stdout
+
+    def emit(text: str) -> None:
+        print(text, file=out)
+
+    args.load = None
+    session = Session(_build_kb(args))
+    query = args.query
+    repeats = args.repeats
+
+    started = time.perf_counter()
+    result = session.query(query)
+    cold_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for _ in range(repeats):
+        session.query(query)
+    warm_s = (time.perf_counter() - started) / max(repeats, 1)
+
+    # Mutate-then-requery: a single-fact delta repaired incrementally.
+    mutate_s = None
+    victim = next(
+        (p for p in session.kb.edb_predicates() if len(session.kb.relation(p))),
+        None,
+    )
+    if victim is not None:
+        relation = session.kb.relation(victim)
+        row = relation.rows()[0]
+        relation.delete(row)
+        started = time.perf_counter()
+        session.query(query)
+        mutate_s = time.perf_counter() - started
+        relation.insert(row)
+        session.query(query)
+
+    emit(f"query: {query}")
+    emit(f"answer rows: {len(result) if hasattr(result, '__len__') else 1}")
+    emit(f"cold query: {cold_s * 1000:.2f} ms")
+    emit(f"warm query: {warm_s * 1000:.2f} ms (mean of {repeats} repeats)")
+    if warm_s > 0:
+        emit(f"warm/cold speedup: {cold_s / warm_s:.1f}x")
+    if mutate_s is not None:
+        emit(
+            f"requery after deleting one {victim} fact: {mutate_s * 1000:.2f} ms"
+        )
+    emit(format_cache_stats(session))
+    return 0
+
+
 def run_repl(session: Session, stream=None, out=None) -> None:
     """The read-eval-print loop (injectable streams for testing)."""
     stream = stream if stream is not None else sys.stdin
@@ -130,6 +202,16 @@ def run_repl(session: Session, stream=None, out=None) -> None:
         if line == ".rules":
             emit(format_rules(session.kb.rules()))
             continue
+        if line == ".cache":
+            emit(format_cache_stats(session))
+            continue
+        if line == ".cache clear":
+            if session.cache is None:
+                emit("cache disabled")
+            else:
+                session.cache.clear()
+                emit("cache cleared")
+            continue
         if line.startswith(".load "):
             path = line[len(".load "):].strip()
             try:
@@ -155,6 +237,26 @@ def run_repl(session: Session, stream=None, out=None) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point of the ``dbk`` console script."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "cache":
+        cache_parser = argparse.ArgumentParser(
+            prog="dbk cache",
+            description="demonstrate the materialized view cache and print "
+            "its statistics",
+        )
+        cache_parser.add_argument(
+            "--dataset", choices=_DATASETS, default="university",
+            help="bundled database to run against",
+        )
+        cache_parser.add_argument(
+            "--query", default="retrieve honor(X)",
+            help="data query to repeat",
+        )
+        cache_parser.add_argument(
+            "--repeats", type=int, default=20,
+            help="warm repetitions to average over",
+        )
+        return run_cache_report(cache_parser.parse_args(argv[1:]))
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--dataset", choices=_DATASETS, help="start from a bundled database")
     parser.add_argument("--load", metavar="FILE", help="load a definition file")
@@ -179,6 +281,10 @@ def main(argv: list[str] | None = None) -> int:
         help="on budget exhaustion: raise (error) or return a partial "
         "answer tagged as a sound under-approximation (partial)",
     )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the materialized view cache (every query recomputes)",
+    )
     args = parser.parse_args(argv)
 
     guard = None
@@ -191,7 +297,10 @@ def main(argv: list[str] | None = None) -> int:
             )
         except ValueError as error:
             parser.error(str(error))
-    session = Session(_build_kb(args), engine=args.engine, style=args.style, guard=guard)
+    session = Session(
+        _build_kb(args), engine=args.engine, style=args.style, guard=guard,
+        cache=not args.no_cache,
+    )
     if args.load:
         with open(args.load) as handle:
             count = session.load(handle.read())

@@ -39,6 +39,7 @@ from repro.engine.provenance import (
 from repro.engine.safety import check_rule_safety, safety_problems
 from repro.engine.seminaive import SemiNaiveEngine
 from repro.engine.topdown import TopDownEngine
+from repro.engine.viewcache import CacheStats, ViewCache
 
 __all__ = [
     "ENGINES",
@@ -68,4 +69,6 @@ __all__ = [
     "safety_problems",
     "SemiNaiveEngine",
     "TopDownEngine",
+    "CacheStats",
+    "ViewCache",
 ]

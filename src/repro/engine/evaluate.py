@@ -10,7 +10,7 @@ predicate defined by ``psi`` (the paper's Example 2 ``answer`` predicate).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro.errors import EngineError, ResourceExhausted, SafetyError
 from repro.catalog.database import KnowledgeBase
@@ -23,6 +23,9 @@ from repro.engine.topdown import TopDownEngine
 from repro.logic.atoms import Atom, atoms_variables
 from repro.logic.substitution import Substitution
 from repro.logic.terms import Constant, Variable, is_constant, is_variable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.viewcache import ViewCache
 
 #: Engine selector values accepted by the public API.
 ENGINES = ("seminaive", "topdown", "magic")
@@ -96,6 +99,7 @@ def evaluate_conjunction(
     negated: Sequence[Atom] = (),
     executor: str = "batch",
     guard: ResourceGuard | None = None,
+    cache: "ViewCache | None" = None,
 ) -> Iterator[Substitution]:
     """Enumerate substitutions satisfying a conjunction over the database.
 
@@ -113,11 +117,18 @@ def evaluate_conjunction(
     enumeration ends early instead — everything yielded is genuinely
     derivable, so the prefix is a sound under-approximation — and the trip
     is recorded on ``guard.tripped``.
+
+    ``cache`` (a :class:`~repro.engine.viewcache.ViewCache` bound to *kb*)
+    serves the seminaive engine's IDB materialisations from warm views when
+    their dependency fingerprints are current, refreshing small EDB deltas
+    incrementally.  It is ignored for other engines, for a mismatched
+    knowledge base, and under an explicit ``max_derived_facts`` limit
+    (cached relations were computed without one, so answers could differ).
     """
     _check_engine(engine)
     check_executor(executor)
     iterator = _evaluate_conjunction(
-        kb, conjuncts, engine, max_derived_facts, negated, executor, guard
+        kb, conjuncts, engine, max_derived_facts, negated, executor, guard, cache
     )
     if guard is None or guard.mode != "degrade":
         yield from iterator
@@ -136,6 +147,7 @@ def _evaluate_conjunction(
     negated: Sequence[Atom],
     executor: str,
     guard: ResourceGuard | None,
+    cache: "ViewCache | None" = None,
 ) -> Iterator[Substitution]:
     if engine == "magic":
         from repro.engine.magic import magic_conjunction
@@ -173,12 +185,25 @@ def _evaluate_conjunction(
         a.predicate for a in conjuncts if not a.is_comparison() and kb.is_idb(a.predicate)
     }
     negated_predicates = {a.predicate for a in negated if kb.is_idb(a.predicate)}
-    bottom_up = SemiNaiveEngine(
-        kb, max_derived_facts=max_derived_facts, executor=executor, guard=guard
-    )
     wanted = sorted(positive_predicates | negated_predicates)
+    # A cache only applies when bound to this knowledge base and when no
+    # explicit fact limit is in force: cached views were materialised
+    # without one, so a limited evaluation could legitimately differ.
+    use_cache = (
+        cache is not None and cache.kb is kb and max_derived_facts is None
+    )
+    materializer = (
+        cache
+        if use_cache
+        else SemiNaiveEngine(
+            kb, max_derived_facts=max_derived_facts, executor=executor, guard=guard
+        )
+    )
     try:
-        derived = bottom_up.evaluate(wanted)
+        if use_cache:
+            derived = cache.evaluate(wanted, executor=executor, guard=guard)
+        else:
+            derived = materializer.evaluate(wanted)
     except ResourceExhausted as error:
         # Degrade: the partial fixpoint is sound (derivation is monotone),
         # so finish the query over whatever was materialised before the
@@ -190,7 +215,7 @@ def _evaluate_conjunction(
             # over-approximate (rows could pass that a complete evaluation
             # rejects); the only sound degraded answer is the empty one.
             return
-        derived = {p: bottom_up.partial_relation(p) for p in wanted}
+        derived = {p: materializer.partial_relation(p) for p in wanted}
 
     def relation_view(predicate: str):
         if kb.is_edb(predicate):
@@ -247,6 +272,7 @@ def retrieve(
     negated_qualifier: Sequence[Atom] = (),
     executor: str = "batch",
     guard: ResourceGuard | None = None,
+    cache: "ViewCache | None" = None,
 ) -> RetrieveResult:
     """Evaluate a data query ``retrieve subject where qualifier``.
 
@@ -298,6 +324,7 @@ def retrieve(
         negated=tuple(negated_qualifier),
         executor=executor,
         guard=guard,
+        cache=cache,
     ):
         values = []
         for variable in free_vars:
@@ -325,8 +352,9 @@ def derivable(
     atom: Atom,
     engine: str = "seminaive",
     guard: ResourceGuard | None = None,
+    cache: "ViewCache | None" = None,
 ) -> bool:
     """Whether some instance of *atom* is derivable from the database."""
-    for _ in evaluate_conjunction(kb, (atom,), engine=engine, guard=guard):
+    for _ in evaluate_conjunction(kb, (atom,), engine=engine, guard=guard, cache=cache):
         return True
     return False

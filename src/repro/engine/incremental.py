@@ -125,6 +125,58 @@ class MaterializedDatabase:
 
     # -- public API ----------------------------------------------------------------
 
+    @classmethod
+    def for_views(
+        cls,
+        kb: KnowledgeBase,
+        derived: dict[str, Relation],
+        predicates: set[str],
+        guard=None,
+    ) -> "MaterializedDatabase":
+        """A maintainer over externally owned materialisations.
+
+        Built for the view cache (:mod:`repro.engine.viewcache`): *derived*
+        holds already-materialised relations for exactly *predicates* —
+        consistent with some *past* EDB state — and :meth:`apply_edb_delta`
+        brings them up to the current one.  Maintenance is restricted to
+        *predicates* (whose rules must be positive and self-contained: every
+        IDB predicate a rule reads is in the set) and uses DRed for
+        deletions, semi-naive propagation for insertions.  Unlike the normal
+        constructor, nothing is recomputed here.
+        """
+        self = cls.__new__(cls)
+        self._kb = kb
+        self._guard = guard
+        self._rules = [r for r in kb.rules() if r.head.predicate in predicates]
+        if any(not rule.is_positive() for rule in self._rules):
+            raise CatalogError(
+                "view maintenance covers positive rules only; recompute "
+                "negated programs from scratch"
+            )
+        self.strategy = STRATEGY_DRED
+        self.incremental = True
+        self._strata = kb.dependency_graph().evaluation_strata(set(predicates))
+        self._derived = derived
+        self._counts = {}
+        return self
+
+    def apply_edb_delta(self, added: Delta, removed: Delta) -> None:
+        """Propagate already-applied EDB changes into the materialisations.
+
+        The stored relations must already reflect the change: *removed* rows
+        are gone from them, *added* rows are present.  Deletions run first
+        (DRed over-delete/rederive against the current state), then
+        insertions propagate semi-naively; with positive rules either order
+        reaches the same fixpoint, the deletions-first order just keeps the
+        rederivation frontier smaller.
+        """
+        removed = {p: set(rows) for p, rows in removed.items() if rows}
+        added = {p: set(rows) for p, rows in added.items() if rows}
+        if removed:
+            self._dred(removed)
+        if added:
+            self._propagate_insertions(added)
+
     @property
     def kb(self) -> KnowledgeBase:
         """The underlying knowledge base."""
@@ -314,6 +366,8 @@ class MaterializedDatabase:
             # Bind the delta row first so the remaining join is driven by
             # its constants (index probes instead of full scans).
             for row in delta[atom.predicate]:
+                if self._guard is not None:
+                    self._guard.tick()
                 theta = bind_row(atom, row, Substitution.EMPTY)
                 if theta is None:
                     continue

@@ -1,0 +1,514 @@
+"""Version-keyed materialized IDB view cache with incremental refresh.
+
+Serving workloads re-issue the same queries against a slowly changing
+knowledge base, yet every ``retrieve`` recomputes the full semi-naive
+fixpoint from scratch.  :class:`ViewCache` closes that gap: computed IDB
+relations are memoized keyed on a **dependency fingerprint** —
+
+* the knowledge base's :attr:`~repro.catalog.database.KnowledgeBase.rules_version`
+  (any rule/catalog change invalidates every view), and
+* the :attr:`~repro.catalog.relation.Relation.version` of each EDB relation
+  the predicate *transitively* depends on (via the dependency graph), so a
+  fact inserted into ``enroll`` invalidates ``honor`` but not ``path``.
+
+Nothing subscribes to anything: a mutation simply bumps a counter, and the
+next probe notices the mismatch.  Transaction rollback
+(:meth:`~repro.catalog.relation.Relation.restore`) bumps the same counters,
+so a cache can never serve state from a rolled-back world.
+
+On a stale probe the cache first tries an **incremental refresh**: the
+per-relation change journal (:meth:`~repro.catalog.relation.Relation.changes_since`)
+reconstructs the net EDB delta since the cached versions, and when it is
+small (``incremental_threshold``) the cached relations are repaired in
+place through the existing delete-and-rederive / semi-naive propagation
+machinery (:meth:`~repro.engine.incremental.MaterializedDatabase.for_views`)
+instead of recomputing the fixpoint cold.  Negated rule sets, large deltas,
+journal gaps, and rule changes all fall back to a full recompute.
+
+A failure mid-refresh (guard trip, cancellation, injected fault) drops the
+affected entries before propagating: the cache is always either consistent
+or invalidated, never serving a half-refreshed view.
+
+The cache also memoizes **knowledge-query results** (describe and friends),
+which depend only on the rule and constraint sets — never on stored facts —
+so their key is just ``(statement, style, config, rules_version,
+constraints_version)``.
+
+Only *complete* results are ever cached: an evaluation that tripped a
+resource budget (a sound under-approximation) is returned to the caller but
+not stored.  Serving a complete cached answer under a budget is always
+sound — that is the point: the hot path for an unchanged knowledge base
+becomes a dict probe that no budget can trip.
+
+Memory is bounded by ``max_rows`` (total derived rows pinned) with
+least-recently-used eviction, and by ``max_statements`` for the knowledge
+memo.  :attr:`ViewCache.stats` reports hits, misses, invalidations,
+incremental vs full refreshes, evictions, and rows/bytes pinned — surfaced
+through ``Session.cache_stats()`` and the ``dbk cache`` subcommand.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.catalog.database import KnowledgeBase
+from repro.catalog.relation import Relation, Row
+from repro.engine.guard import ResourceGuard
+from repro.engine.incremental import Delta, MaterializedDatabase
+from repro.engine.seminaive import SemiNaiveEngine
+
+#: Default ceiling on derived rows pinned across all cached views.
+DEFAULT_MAX_ROWS = 1_000_000
+
+#: Default net-delta size (rows) above which a stale view is recomputed
+#: cold instead of refreshed incrementally.
+DEFAULT_INCREMENTAL_THRESHOLD = 64
+
+#: Default ceiling on memoized knowledge-query results.
+DEFAULT_MAX_STATEMENTS = 256
+
+
+@dataclass
+class CacheStats:
+    """Counters and gauges describing a :class:`ViewCache`'s behaviour.
+
+    ``hits`` count probes served straight from warm views (a dict probe, no
+    derivation at all); ``incremental_refreshes`` served after an in-place
+    delta repair; ``misses`` required a full fixpoint recompute.
+    ``invalidations`` counts cached views discarded because their
+    fingerprint no longer matched.  ``rows_pinned`` / ``bytes_pinned`` are
+    current gauges (bytes are an estimate), the rest are monotone counters.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    incremental_refreshes: int = 0
+    full_refreshes: int = 0
+    evictions: int = 0
+    statement_hits: int = 0
+    statement_misses: int = 0
+    rows_pinned: int = 0
+    bytes_pinned: int = 0
+
+    @property
+    def probes(self) -> int:
+        """Total data-view probes."""
+        return self.hits + self.incremental_refreshes + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of data-view probes served without a full recompute."""
+        if not self.probes:
+            return 0.0
+        return (self.hits + self.incremental_refreshes) / self.probes
+
+    def as_dict(self) -> dict:
+        """A JSON-friendly snapshot (counters plus derived rates)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "incremental_refreshes": self.incremental_refreshes,
+            "full_refreshes": self.full_refreshes,
+            "evictions": self.evictions,
+            "statement_hits": self.statement_hits,
+            "statement_misses": self.statement_misses,
+            "rows_pinned": self.rows_pinned,
+            "bytes_pinned": self.bytes_pinned,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class _ViewEntry:
+    """One materialised IDB relation plus the state it was computed under."""
+
+    relation: Relation
+    rules_version: int
+    #: EDB dependency name -> its relation version at materialisation time.
+    edb_versions: dict[str, int]
+    #: Dependency predicates that were undefined at materialisation time
+    #: (empty extension); a later definition must invalidate the view.
+    undefined: frozenset[str]
+    #: LRU clock value of the last probe that served this entry.
+    tick: int = 0
+
+
+def _approx_bytes(relation: Relation) -> int:
+    """A cheap size estimate: tuple + per-constant object overhead."""
+    per_row = sys.getsizeof(()) + relation.arity * 56
+    return len(relation) * per_row
+
+
+def _net_delta(changes: Sequence[tuple[str, Row]]) -> tuple[set[Row], set[Row]]:
+    """Collapse a journal slice into net (added, removed) row sets."""
+    added: set[Row] = set()
+    removed: set[Row] = set()
+    for op, row in changes:
+        if op == "+":
+            if row in removed:
+                removed.discard(row)
+            else:
+                added.add(row)
+        else:
+            if row in added:
+                added.discard(row)
+            else:
+                removed.add(row)
+    return added, removed
+
+
+class ViewCache:
+    """Materialized IDB views plus a knowledge-query memo for one KB.
+
+    Parameters
+    ----------
+    kb:
+        The knowledge base the cache serves.  A cache is bound to one
+        instance; callers handing a different ``kb`` to the evaluation API
+        bypass the cache automatically.
+    max_rows:
+        Total derived rows the cache may pin; least-recently-used views are
+        evicted past it.
+    incremental_threshold:
+        Net EDB delta size (rows) up to which a stale view is refreshed
+        in place through delta propagation / DRed; larger deltas recompute.
+    max_statements:
+        Memoized knowledge-query results retained (LRU).
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        max_rows: int = DEFAULT_MAX_ROWS,
+        incremental_threshold: int = DEFAULT_INCREMENTAL_THRESHOLD,
+        max_statements: int = DEFAULT_MAX_STATEMENTS,
+    ) -> None:
+        if max_rows < 1:
+            raise ValueError(f"max_rows must be at least 1, got {max_rows!r}")
+        if incremental_threshold < 0:
+            raise ValueError(
+                f"incremental_threshold must be non-negative, got "
+                f"{incremental_threshold!r}"
+            )
+        self._kb = kb
+        self.max_rows = max_rows
+        self.incremental_threshold = incremental_threshold
+        self.max_statements = max_statements
+        self._views: dict[str, _ViewEntry] = {}
+        self._statements: OrderedDict[tuple, object] = OrderedDict()
+        self._clock = 0
+        #: The engine of an in-flight full recompute; degrade-mode callers
+        #: read sound partial relations from it after a budget trip.
+        self._inflight: SemiNaiveEngine | None = None
+        self.stats = CacheStats()
+
+    @property
+    def kb(self) -> KnowledgeBase:
+        """The knowledge base this cache is bound to."""
+        return self._kb
+
+    # -- data views ---------------------------------------------------------------
+
+    def evaluate(
+        self,
+        predicates: Sequence[str],
+        executor: str = "batch",
+        guard: ResourceGuard | None = None,
+    ) -> dict[str, Relation]:
+        """Materialised relations for the requested IDB predicates.
+
+        Drop-in for :meth:`SemiNaiveEngine.evaluate`: probes the cache,
+        refreshes warm-but-stale views incrementally when the EDB delta is
+        small, and falls back to a governed full recompute otherwise.  Only
+        complete (untripped) computations are stored; a
+        :class:`~repro.errors.ResourceExhausted` trip propagates with the
+        cache unchanged (stale entries dropped, nothing half-written).
+        """
+        kb = self._kb
+        self._inflight = None  # drop partials from any previous trip
+        if guard is not None:
+            # Even a warm probe must observe cancellation and deadlines: a
+            # hit performs no derivation, so this is its one checkpoint.
+            guard.check()
+        wanted = [p for p in predicates if kb.is_idb(p)]
+        if not wanted:
+            return {}
+        graph = kb.dependency_graph()
+        closure = set(wanted)
+        for predicate in wanted:
+            closure.update(q for q in graph.dependencies(predicate) if kb.is_idb(q))
+        members = sorted(closure)
+        profiles = {p: self._dependency_profile(p) for p in members}
+
+        if all(self._is_fresh(p, profiles[p]) for p in members):
+            self._clock += 1
+            for predicate in members:
+                self._views[predicate].tick = self._clock
+            self.stats.hits += 1
+            return {p: self._views[p].relation for p in wanted}
+
+        if self._refresh_incrementally(members, profiles, guard):
+            self.stats.incremental_refreshes += 1
+        else:
+            self._recompute(members, profiles, executor, guard)
+            self.stats.misses += 1
+            self.stats.full_refreshes += 1
+        self._evict()
+        self._update_gauges()
+        return {p: self._views[p].relation for p in wanted}
+
+    def partial_relation(self, predicate: str) -> Relation:
+        """A sound (possibly incomplete) relation after a budget trip.
+
+        Full recomputes expose the in-flight engine's partial fixpoint
+        (monotone, hence sound).  A trip during an incremental refresh has
+        no sound partial state — the half-refreshed relations were dropped —
+        so the answer degrades to the empty relation.
+        """
+        if self._inflight is not None:
+            return self._inflight.partial_relation(predicate)
+        arity = (
+            self._kb.schema(predicate).arity if self._kb.has_predicate(predicate) else 0
+        )
+        return Relation(arity)
+
+    def invalidate(self, predicate: str | None = None) -> int:
+        """Drop one cached view (or all of them); returns how many dropped."""
+        if predicate is None:
+            dropped = len(self._views)
+            self._views.clear()
+        else:
+            dropped = 1 if self._views.pop(predicate, None) is not None else 0
+        self.stats.invalidations += dropped
+        self._update_gauges()
+        return dropped
+
+    def clear(self) -> None:
+        """Drop every cached view and memoized statement result."""
+        self.invalidate()
+        self._statements.clear()
+
+    def dependency_fingerprint(self, predicates: Sequence[str]) -> tuple:
+        """A hashable digest of everything the given predicates depend on.
+
+        Combines the rule-set version, the version of every EDB relation any
+        of the predicates transitively depends on (including the predicates
+        themselves when stored), and the set of undefined dependencies.  Two
+        equal fingerprints guarantee equal answers for any query over these
+        predicates, so results memoized under the fingerprint never need
+        explicit invalidation — a mutation simply changes the key.
+        """
+        kb = self._kb
+        edb: dict[str, int] = {}
+        undefined: set[str] = set()
+        for predicate in predicates:
+            if kb.is_edb(predicate):
+                edb[predicate] = kb.relation(predicate).version
+            elif not kb.is_idb(predicate) and not kb.is_builtin(predicate):
+                undefined.add(predicate)
+            profile_edb, profile_undefined = self._dependency_profile(predicate)
+            edb.update(profile_edb)
+            undefined.update(profile_undefined)
+        return (
+            self._kb.rules_version,
+            tuple(sorted(edb.items())),
+            frozenset(undefined),
+        )
+
+    # -- statement memo ------------------------------------------------------------
+
+    def statement_key(self, kind: str, text: str, *extra: object) -> tuple:
+        """A memo key for a knowledge query under the current catalog.
+
+        Knowledge answers depend on the rule and constraint sets only, never
+        on stored facts, so the key embeds both catalog versions; any rule
+        or constraint change silently orphans old entries (evicted LRU).
+        """
+        return (
+            kind,
+            text,
+            self._kb.rules_version,
+            self._kb.constraints_version,
+            *extra,
+        )
+
+    def lookup_statement(self, key: tuple) -> object | None:
+        """The memoized result under *key*, or ``None``."""
+        result = self._statements.get(key)
+        if result is None:
+            self.stats.statement_misses += 1
+            return None
+        self._statements.move_to_end(key)
+        self.stats.statement_hits += 1
+        return result
+
+    def store_statement(self, key: tuple, result: object) -> None:
+        """Memoize a complete knowledge-query result (LRU-bounded)."""
+        self._statements[key] = result
+        self._statements.move_to_end(key)
+        while len(self._statements) > self.max_statements:
+            self._statements.popitem(last=False)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _dependency_profile(
+        self, predicate: str
+    ) -> tuple[dict[str, int], frozenset[str]]:
+        """Current (EDB dependency versions, undefined dependencies)."""
+        kb = self._kb
+        graph = kb.dependency_graph()
+        edb: dict[str, int] = {}
+        undefined: set[str] = set()
+        for name in graph.dependencies(predicate):
+            if kb.is_edb(name):
+                edb[name] = kb.relation(name).version
+            elif not kb.is_idb(name) and not kb.is_builtin(name):
+                undefined.add(name)
+        return edb, frozenset(undefined)
+
+    def _is_fresh(
+        self, predicate: str, profile: tuple[dict[str, int], frozenset[str]]
+    ) -> bool:
+        entry = self._views.get(predicate)
+        if entry is None:
+            return False
+        edb_versions, undefined = profile
+        return (
+            entry.rules_version == self._kb.rules_version
+            and entry.edb_versions == edb_versions
+            and entry.undefined == undefined
+        )
+
+    def _refresh_incrementally(
+        self,
+        members: list[str],
+        profiles: dict[str, tuple[dict[str, int], frozenset[str]]],
+        guard: ResourceGuard | None,
+    ) -> bool:
+        """Repair warm-but-stale views in place; ``True`` on success.
+
+        Requires every closure member cached at one consistent EDB snapshot
+        under the current rule set, positive rules, reconstructable journals
+        for every changed dependency, and a net delta within the threshold.
+        """
+        kb = self._kb
+        rules_version = kb.rules_version
+        entries = {p: self._views.get(p) for p in members}
+        if any(entry is None for entry in entries.values()):
+            return False
+        base: dict[str, int] = {}
+        for predicate, entry in entries.items():
+            if entry.rules_version != rules_version:
+                return False
+            if entry.undefined != profiles[predicate][1]:
+                return False
+            for name, version in entry.edb_versions.items():
+                if base.setdefault(name, version) != version:
+                    return False  # entries cached at different snapshots
+        for predicate in members:
+            if any(rule.negated for rule in kb.rules_for(predicate)):
+                # An insertion can *remove* derived facts under negation;
+                # the DRed/propagation repair only covers positive rules.
+                return False
+
+        added: Delta = {}
+        removed: Delta = {}
+        total = 0
+        for name, cached_version in base.items():
+            relation = kb.relation(name)
+            if relation.version == cached_version:
+                continue
+            changes = relation.changes_since(cached_version)
+            if changes is None:
+                return False  # journal gap (restore/clear or window overrun)
+            add, remove = _net_delta(changes)
+            total += len(add) + len(remove)
+            if total > self.incremental_threshold:
+                return False
+            if add:
+                added[name] = add
+            if remove:
+                removed[name] = remove
+
+        if total:
+            derived = {p: entries[p].relation for p in members}
+            maintainer = MaterializedDatabase.for_views(
+                kb, derived, set(members), guard=guard
+            )
+            try:
+                maintainer.apply_edb_delta(added, removed)
+            except BaseException:
+                # Never serve a half-refreshed view: the touched entries are
+                # gone before the failure propagates.
+                for predicate in members:
+                    if self._views.pop(predicate, None) is not None:
+                        self.stats.invalidations += 1
+                self._update_gauges()
+                raise
+        self._clock += 1
+        for predicate in members:
+            entry = entries[predicate]
+            entry.edb_versions = dict(profiles[predicate][0])
+            entry.tick = self._clock
+        return True
+
+    def _recompute(
+        self,
+        members: list[str],
+        profiles: dict[str, tuple[dict[str, int], frozenset[str]]],
+        executor: str,
+        guard: ResourceGuard | None,
+    ) -> None:
+        """Full semi-naive materialisation of the closure; stores on success."""
+        for predicate in members:
+            if predicate in self._views and not self._is_fresh(
+                predicate, profiles[predicate]
+            ):
+                del self._views[predicate]
+                self.stats.invalidations += 1
+        engine = SemiNaiveEngine(self._kb, executor=executor, guard=guard)
+        # On a ResourceExhausted trip ``_inflight`` deliberately stays set:
+        # the degrade path reads sound partial fixpoints from it via
+        # :meth:`partial_relation`.  The next probe overwrites it.
+        self._inflight = engine
+        derived = engine.evaluate(members)
+        self._inflight = None
+        self._clock += 1
+        rules_version = self._kb.rules_version
+        for predicate in members:
+            edb_versions, undefined = profiles[predicate]
+            self._views[predicate] = _ViewEntry(
+                relation=derived[predicate],
+                rules_version=rules_version,
+                edb_versions=dict(edb_versions),
+                undefined=undefined,
+                tick=self._clock,
+            )
+
+    def _evict(self) -> None:
+        """Enforce the rows budget, least-recently-used views first."""
+        total = sum(len(entry.relation) for entry in self._views.values())
+        while total > self.max_rows and self._views:
+            victim = min(self._views, key=lambda p: self._views[p].tick)
+            total -= len(self._views[victim].relation)
+            del self._views[victim]
+            self.stats.evictions += 1
+
+    def _update_gauges(self) -> None:
+        self.stats.rows_pinned = sum(
+            len(entry.relation) for entry in self._views.values()
+        )
+        self.stats.bytes_pinned = sum(
+            _approx_bytes(entry.relation) for entry in self._views.values()
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ViewCache({len(self._views)} views, {self.stats.rows_pinned} rows, "
+            f"{len(self._statements)} memoized statements)"
+        )

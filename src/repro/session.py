@@ -30,6 +30,7 @@ from repro.core.search import SearchConfig
 from repro.core.wildcard import describe_wildcard
 from repro.engine.evaluate import RetrieveResult, retrieve
 from repro.engine.guard import ResourceGuard
+from repro.engine.viewcache import ViewCache
 from repro.lang.ast import (
     CompareStatement,
     ConstraintStatement,
@@ -53,6 +54,19 @@ QueryResult = Union[
 ]
 
 
+def _complete(result: object) -> bool:
+    """Whether a query result is exhaustive (no resource budget degraded it).
+
+    Results without diagnostics (possibility tests, comparisons — which only
+    run under strict guards) count as complete; a wildcard describe is
+    complete iff every per-predicate answer is.
+    """
+    if isinstance(result, dict):
+        return all(_complete(value) for value in result.values())
+    diagnostics = getattr(result, "diagnostics", None)
+    return diagnostics is None or diagnostics.complete
+
+
 class Session:
     """A knowledge base plus the query language on top of it.
 
@@ -61,6 +75,17 @@ class Session:
     deadlines and counters are per-query while the cancellation token is
     shared across the session.  A ``guard=`` passed to :meth:`query` /
     :meth:`execute` overrides the session guard for that one statement.
+
+    ``cache`` controls the session's :class:`~repro.engine.viewcache.ViewCache`:
+    ``True`` (the default) builds one over the knowledge base, ``False`` /
+    ``None`` disables caching, and a :class:`ViewCache` instance (bound to
+    the same knowledge base) is adopted as-is — useful for sharing one cache
+    across sessions or tuning its budgets.  The cache memoizes both
+    materialised IDB views for ``retrieve`` and knowledge-query results
+    (``describe``/``compare``); version-keyed fingerprints invalidate them
+    automatically on catalog mutation and transaction rollback, and only
+    complete (non-degraded) answers are ever stored.  :meth:`cache_stats`
+    reports its behaviour.
     """
 
     def __init__(
@@ -71,6 +96,7 @@ class Session:
         config: SearchConfig | None = None,
         executor: str = "batch",
         guard: ResourceGuard | None = None,
+        cache: "ViewCache | bool | None" = True,
     ) -> None:
         self.kb = kb if kb is not None else KnowledgeBase()
         self.engine = engine
@@ -81,6 +107,13 @@ class Session:
         self.executor = executor
         #: Session-wide resource governance specification (see class doc).
         self.guard = guard
+        #: Materialised-view cache, or ``None`` when disabled (see class doc).
+        if isinstance(cache, ViewCache):
+            if cache.kb is not self.kb:
+                raise CoreError("the supplied cache is bound to a different knowledge base")
+            self.cache: ViewCache | None = cache
+        else:
+            self.cache = ViewCache(self.kb) if cache else None
 
     # -- statement execution -------------------------------------------------------
 
@@ -117,24 +150,104 @@ class Session:
             self.kb.add_constraint(statement.constraint)
             return f"constrained: {statement.constraint}"
         if isinstance(statement, RetrieveStatement):
-            return retrieve(
-                self.kb,
-                statement.subject,
-                statement.qualifier,
-                engine=self.engine,
-                negated_qualifier=statement.negated_qualifier,
-                executor=self.executor,
-                guard=active,
-            )
+            return self._retrieve(statement, active)
         if isinstance(statement, DescribeStatement):
-            return self._describe(statement, active)
+            return self._memoized("describe", statement, self._describe, active)
         if isinstance(statement, ExplainStatement):
             from repro.engine.provenance import explain_statement
 
             return explain_statement(self.kb, statement.subject, statement.qualifier)
         if isinstance(statement, CompareStatement):
-            return self._compare(statement, active)
+            return self._memoized("compare", statement, self._compare, active)
         raise CoreError(f"cannot execute statement: {statement!r}")
+
+    # -- retrieve ----------------------------------------------------------------------
+
+    def _retrieve(self, statement: RetrieveStatement, guard) -> RetrieveResult:
+        """A data query, memoized on its full dependency fingerprint.
+
+        Unlike knowledge queries, retrieve answers depend on stored facts,
+        so the memo key embeds the version of every EDB relation any
+        referenced predicate transitively depends on
+        (:meth:`ViewCache.dependency_fingerprint`): the warm path for an
+        unchanged knowledge base is a dict probe — no fixpoint, no join.
+        Any mutation changes the fingerprint and the stale entry simply
+        ages out of the LRU.
+        """
+        if self.cache is None:
+            return self._retrieve_cold(statement, guard)
+        if guard is not None:
+            guard.check()  # a memo hit must still observe cancellation
+        atoms = (
+            statement.subject,
+            *statement.qualifier,
+            *statement.negated_qualifier,
+        )
+        predicates = sorted(
+            {atom.predicate for atom in atoms if not atom.is_comparison()}
+        )
+        key = self.cache.statement_key(
+            "retrieve",
+            str(statement),
+            self.engine,
+            self.executor,
+            self.cache.dependency_fingerprint(predicates),
+        )
+        memoized = self.cache.lookup_statement(key)
+        if memoized is not None:
+            return memoized
+        result = self._retrieve_cold(statement, guard)
+        if _complete(result):
+            self.cache.store_statement(key, result)
+        return result
+
+    def _retrieve_cold(self, statement: RetrieveStatement, guard) -> RetrieveResult:
+        return retrieve(
+            self.kb,
+            statement.subject,
+            statement.qualifier,
+            engine=self.engine,
+            negated_qualifier=statement.negated_qualifier,
+            executor=self.executor,
+            guard=guard,
+            cache=self.cache,
+        )
+
+    # -- knowledge-query memo ----------------------------------------------------------
+
+    def _memoized(self, kind, statement, evaluate, guard):
+        """Evaluate a knowledge query through the cache's statement memo.
+
+        Describe/compare answers depend on the rule and constraint sets
+        only — never on stored facts — so the memo key is the statement text
+        plus the answer-shaping knobs; the catalog versions are embedded by
+        :meth:`ViewCache.statement_key`.  Degraded (budget-tripped) results
+        are returned but not stored: a cached answer must be complete.
+        """
+        if self.cache is None:
+            return evaluate(statement, guard)
+        if guard is not None:
+            guard.check()  # a memo hit must still observe cancellation
+        key = self.cache.statement_key(
+            kind, str(statement), self.style, repr(self.config)
+        )
+        memoized = self.cache.lookup_statement(key)
+        if memoized is not None:
+            return memoized
+        result = evaluate(statement, guard)
+        if _complete(result):
+            self.cache.store_statement(key, result)
+        return result
+
+    def cache_stats(self) -> dict:
+        """A JSON-friendly snapshot of the view cache's behaviour.
+
+        ``{"enabled": False}`` when the session runs uncached; otherwise the
+        :class:`~repro.engine.viewcache.CacheStats` counters plus hit rate.
+        """
+        if self.cache is None:
+            return {"enabled": False}
+        return {"enabled": True, **self.cache.stats.as_dict()}
 
     # -- describe dispatch ------------------------------------------------------------
 

@@ -1,0 +1,204 @@
+"""Unit tests for the materialized IDB view cache."""
+
+import pytest
+
+from repro.catalog.database import KnowledgeBase
+from repro.catalog.relation import JOURNAL_LIMIT, Relation
+from repro.engine.evaluate import retrieve
+from repro.engine.viewcache import ViewCache
+from repro.errors import CoreError
+from repro.lang.parser import parse_atom, parse_rule
+from repro.session import Session
+
+
+def chain_kb(n=10):
+    kb = KnowledgeBase("chain")
+    kb.declare_edb("edge", 2)
+    for i in range(n):
+        kb.add_fact("edge", i, i + 1)
+    kb.add_rule(parse_rule("path(X, Y) <- edge(X, Y)"))
+    kb.add_rule(parse_rule("path(X, Z) <- edge(X, Y) and path(Y, Z)"))
+    return kb
+
+
+class TestChangeJournal:
+    def test_changes_since_reports_net_mutations(self):
+        relation = Relation(2)
+        v0 = relation.version
+        relation.insert(("a", "b"))
+        relation.insert(("c", "d"))
+        relation.delete(("a", "b"))
+        changes = relation.changes_since(v0)
+        assert [op for op, _ in changes] == ["+", "+", "-"]
+        assert relation.changes_since(relation.version) == []
+
+    def test_clear_and_restore_forget_the_journal(self):
+        relation = Relation(1)
+        v0 = relation.version
+        relation.insert(("a",))
+        snapshot = relation.checkpoint()
+        relation.clear()
+        assert relation.changes_since(v0) is None
+        v1 = relation.version
+        relation.restore(snapshot)
+        assert relation.changes_since(v1) is None
+
+    def test_window_overrun_reports_unavailable(self):
+        relation = Relation(1)
+        v0 = relation.version
+        for i in range(JOURNAL_LIMIT + 10):
+            relation.insert((i,))
+        assert relation.changes_since(v0) is None
+        recent = relation.version - 5
+        assert len(relation.changes_since(recent)) == 5
+
+
+class TestInvalidation:
+    def test_warm_probe_is_a_hit(self):
+        kb = chain_kb()
+        cache = ViewCache(kb)
+        first = cache.evaluate(["path"])["path"]
+        again = cache.evaluate(["path"])["path"]
+        assert again is first
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_edb_mutation_invalidates_dependents_only(self):
+        kb = chain_kb()
+        kb.declare_edb("color", 1)
+        kb.add_fact("color", "red")
+        kb.add_rule(parse_rule("tint(X) <- color(X)"))
+        cache = ViewCache(kb)
+        cache.evaluate(["path"])
+        cache.evaluate(["tint"])
+        kb.add_fact("color", "blue")
+        assert len(cache.evaluate(["path"])["path"]) > 0
+        assert cache.stats.hits == 1  # path still fresh
+        assert len(cache.evaluate(["tint"])["tint"]) == 2
+
+    def test_rule_change_invalidates_everything(self):
+        kb = chain_kb()
+        cache = ViewCache(kb)
+        cache.evaluate(["path"])
+        kb.add_rule(parse_rule("path(X, X) <- edge(X, Y)"))
+        refreshed = cache.evaluate(["path"])["path"]
+        assert (0, 0) in {(r[0].value, r[1].value) for r in refreshed.rows()}
+        assert cache.stats.invalidations >= 1
+
+    def test_rollback_invalidates_mid_transaction_views(self):
+        kb = chain_kb(4)
+        cache = ViewCache(kb)
+        before = set(cache.evaluate(["path"])["path"].rows())
+
+        class Abort(Exception):
+            pass
+
+        try:
+            with kb.transaction():
+                kb.add_fact("edge", 100, 0)
+                assert len(cache.evaluate(["path"])["path"]) > len(before)
+                raise Abort()
+        except Abort:
+            pass
+        assert set(cache.evaluate(["path"])["path"].rows()) == before
+
+    def test_incremental_refresh_on_small_delta(self):
+        kb = chain_kb()
+        cache = ViewCache(kb)
+        cache.evaluate(["path"])
+        kb.add_fact("edge", 100, 0)
+        refreshed = cache.evaluate(["path"])["path"]
+        assert cache.stats.incremental_refreshes == 1
+        assert (100, 5) in {(r[0].value, r[1].value) for r in refreshed.rows()}
+
+    def test_large_delta_falls_back_to_recompute(self):
+        kb = chain_kb()
+        cache = ViewCache(kb, incremental_threshold=2)
+        cache.evaluate(["path"])
+        for i in range(200, 206):
+            kb.add_fact("edge", i, i + 1)
+        cache.evaluate(["path"])
+        assert cache.stats.incremental_refreshes == 0
+        assert cache.stats.full_refreshes == 2
+
+    def test_net_zero_delta_restamps_without_work(self):
+        kb = chain_kb()
+        cache = ViewCache(kb)
+        cache.evaluate(["path"])
+        row = kb.relation("edge").rows()[0]
+        kb.relation("edge").delete(row)
+        kb.relation("edge").insert(row)
+        before = cache.evaluate(["path"])["path"]
+        assert cache.stats.incremental_refreshes == 1
+        assert cache.evaluate(["path"])["path"] is before
+
+
+class TestEviction:
+    def test_lru_rows_budget(self):
+        kb = chain_kb(12)  # path has 78 rows
+        kb.declare_edb("color", 1)
+        kb.add_fact("color", "red")
+        kb.add_rule(parse_rule("tint(X) <- color(X)"))
+        cache = ViewCache(kb, max_rows=80)
+        cache.evaluate(["path"])
+        cache.evaluate(["tint"])  # 78 + 1 < 80: both fit
+        assert cache.stats.evictions == 0
+        cache.evaluate(["tint"])  # tint most recent
+        kb.add_fact("color", "blue")
+        # Roomy enough for tint alone; path (LRU) must be evicted.
+        cache.max_rows = 50
+        cache.evaluate(["tint"])
+        assert cache.stats.evictions >= 1
+        assert cache.stats.rows_pinned <= 50
+
+    def test_budget_validation(self):
+        kb = chain_kb(3)
+        with pytest.raises(ValueError):
+            ViewCache(kb, max_rows=0)
+        with pytest.raises(ValueError):
+            ViewCache(kb, incremental_threshold=-1)
+
+
+class TestSessionIntegration:
+    def test_cache_stats_shape(self):
+        session = Session(chain_kb())
+        session.query("retrieve path(X, Y)")
+        session.query("retrieve path(X, Y)")
+        stats = session.cache_stats()
+        assert stats["enabled"] and stats["statement_hits"] == 1
+        assert Session(chain_kb(), cache=False).cache_stats() == {"enabled": False}
+
+    def test_shared_cache_must_match_kb(self):
+        kb = chain_kb()
+        cache = ViewCache(kb)
+        assert Session(kb, cache=cache).cache is cache
+        with pytest.raises(CoreError):
+            Session(chain_kb(), cache=cache)
+
+    def test_mismatched_kb_bypasses_cache(self):
+        cache = ViewCache(chain_kb())
+        other = chain_kb(3)
+        result = retrieve(other, parse_atom("path(X, Y)"), cache=cache)
+        assert len(result) == 6
+        assert cache.stats.probes == 0
+
+    def test_describe_memo_invalidated_by_rule_change(self):
+        kb = chain_kb(4)
+        session = Session(kb)
+        first = session.query("describe path(X, Y)")
+        assert session.query("describe path(X, Y)") is first
+        kb.add_rule(parse_rule("path(X, X) <- edge(X, Y)"))
+        assert session.query("describe path(X, Y)") is not first
+
+    def test_describe_memo_invalidated_by_constraint_change(self):
+        kb = chain_kb(4)
+        session = Session(kb)
+        first = session.query("describe path(X, Y)")
+        session.query("not (edge(X, X) and path(X, X)).")
+        assert session.query("describe path(X, Y)") is not first
+
+    def test_retrieve_memo_keyed_on_facts(self):
+        session = Session(chain_kb(4))
+        first = session.query("retrieve path(X, Y)")
+        assert session.query("retrieve path(X, Y)") is first
+        session.kb.add_fact("edge", 100, 0)
+        assert session.query("retrieve path(X, Y)") is not first

@@ -1,0 +1,124 @@
+"""Fault injection over the view cache's refresh paths.
+
+A failure raised at any guard checkpoint while the cache is recomputing or
+incrementally refreshing a view must leave the cache either *invalidated*
+(the entry is gone) or *consistent* (the entry's rows equal a fresh
+evaluation) — never serving a half-refreshed view.  After every injected
+fault the harness asserts:
+
+1. **no poisoned entries** — every cached view whose fingerprint claims
+   freshness matches a from-scratch semi-naive evaluation;
+2. **recoverability** — a clean re-query through the same cache returns
+   exactly the reference answer.
+
+Reuses the checkpoint-injection machinery of :mod:`test_atomicity`
+(seeded point selection, ``FaultInjectingGuard``); coverage totals are
+tracked separately so that module's floor is unaffected.
+"""
+
+from __future__ import annotations
+
+from repro.engine.evaluate import retrieve
+from repro.engine.seminaive import SemiNaiveEngine
+from repro.engine.viewcache import ViewCache
+from repro.lang.parser import parse_atom
+
+from tests.faultinject.test_atomicity import (
+    PER_SCENARIO,
+    SEED,
+    CountingGuard,
+    FaultInjectingGuard,
+    InjectedFault,
+    chain_kb,
+    injection_points,
+)
+
+#: Minimum injections across this module's scenarios.
+TARGET_TOTAL = 60
+
+_EXERCISED: dict[str, int] = {}
+
+SUBJECT = parse_atom("path(X, Y)")
+
+
+def assert_cache_consistent(kb, cache: ViewCache) -> None:
+    """No fresh-looking cached view may differ from a fresh evaluation."""
+    for predicate, entry in cache._views.items():
+        if not cache._is_fresh(predicate, cache._dependency_profile(predicate)):
+            continue
+        expected = SemiNaiveEngine(kb).evaluate([predicate])[predicate]
+        assert set(entry.relation.rows()) == set(expected.rows()), (
+            f"cache serves a half-refreshed view of {predicate} (seed {SEED})"
+        )
+
+
+def drive_cache(scenario: str, mutate) -> None:
+    """Warm a cache, mutate the EDB, inject faults into the requery."""
+
+    def make():
+        kb = chain_kb(16)
+        cache = ViewCache(kb)
+        retrieve(kb, SUBJECT, cache=cache)  # warm
+        mutate(kb)
+        return kb, cache
+
+    kb, cache = make()
+    counting = CountingGuard()
+    reference = frozenset(
+        retrieve(kb, SUBJECT, guard=counting, cache=cache).rows
+    )
+    assert counting.checkpoints > 0, f"{scenario}: no checkpoints crossed"
+
+    exercised = 0
+    for point in injection_points(counting.checkpoints, scenario):
+        kb, cache = make()
+        try:
+            retrieve(kb, SUBJECT, guard=FaultInjectingGuard(point), cache=cache)
+        except InjectedFault:
+            exercised += 1
+            assert_cache_consistent(kb, cache)
+        clean = frozenset(retrieve(kb, SUBJECT, cache=cache).rows)
+        assert clean == reference, (
+            f"{scenario}: recovery diverged after fault at checkpoint {point} "
+            f"(seed {SEED})"
+        )
+        assert_cache_consistent(kb, cache)
+    _EXERCISED[scenario] = exercised
+    assert exercised >= min(counting.checkpoints, PER_SCENARIO) * 0.8, (
+        f"{scenario}: only {exercised} injections fired (seed {SEED})"
+    )
+
+
+class TestRefreshFaults:
+    def test_full_recompute(self):
+        # A cold cache: faults strike the initial materialisation + store.
+        drive_cache("viewcache-recompute", lambda kb: kb.relation("edge").clear())
+
+    def test_incremental_delete(self):
+        def mutate(kb):
+            row = kb.relation("edge").rows()[8]
+            kb.relation("edge").delete(row)
+
+        drive_cache("viewcache-dred", mutate)
+
+    def test_incremental_insert(self):
+        drive_cache(
+            "viewcache-insert", lambda kb: kb.add_fact("edge", 100, 0)
+        )
+
+    def test_mixed_delta(self):
+        def mutate(kb):
+            kb.relation("edge").delete(kb.relation("edge").rows()[3])
+            kb.add_fact("edge", 200, 0)
+            kb.add_fact("edge", 0, 200)
+
+        drive_cache("viewcache-mixed", mutate)
+
+
+def test_total_injection_points_meet_target():
+    """Must run last: this module's coverage floor."""
+    total = sum(_EXERCISED.values())
+    assert total >= TARGET_TOTAL, (
+        f"only {total} injection points exercised across "
+        f"{sorted(_EXERCISED)} (target {TARGET_TOTAL}, seed {SEED})"
+    )
