@@ -9,7 +9,7 @@ import pytest
 
 from repro.catalog.database import KnowledgeBase
 from repro.engine.joins import join_conjunction, relation_cost_estimator, bind_row
-from repro.lang.parser import parse_body, parse_rule
+from repro.lang.parser import parse_body
 from repro.logic.terms import is_constant
 from conftest import report
 

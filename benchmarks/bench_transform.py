@@ -12,7 +12,6 @@ from repro.core import transform_knowledge_base
 from repro.core.transform import transform_rules
 from repro.engine import SemiNaiveEngine
 from repro.datasets import random_graph_kb
-from repro.lang.parser import parse_rule
 from conftest import report
 
 

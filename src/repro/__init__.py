@@ -29,11 +29,14 @@ Quick start::
 
 from repro.errors import (
     EvaluationLimitError,
+    LintError,
     QueryCancelled,
     ReproError,
     ResourceExhausted,
     SearchBudgetExceeded,
 )
+from repro.analysis import AnalysisReport, Diagnostic, Severity, SourceSpan
+from repro.analysis.analyzer import analyze, analyze_source
 from repro.catalog.database import KnowledgeBase
 from repro.catalog.loader import kb_from_program, load_file, load_program
 from repro.catalog.persist import export_csv, import_csv, load_kb, save_kb
@@ -61,6 +64,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ReproError",
+    "LintError",
+    "AnalysisReport",
+    "Diagnostic",
+    "Severity",
+    "SourceSpan",
+    "analyze",
+    "analyze_source",
     "ResourceExhausted",
     "EvaluationLimitError",
     "SearchBudgetExceeded",

@@ -1,0 +1,96 @@
+"""The analyzer driver: run every pass over a program or knowledge base.
+
+Entry points:
+
+* :func:`analyze` — accepts a :class:`KnowledgeBase`, a parsed
+  :class:`~repro.lang.ast.Program`, or raw source text, and returns an
+  :class:`AnalysisReport`;
+* :func:`analyze_source` — like :func:`analyze` on text, but never raises:
+  lexer/parser failures become the **KB001** diagnostic, so CI consumers
+  always get structured output.
+
+Both honour ``passes=`` (run a subset, by name) and ``ignore=`` (suppress
+codes), which is what the CLI's ``--select`` / ``--ignore`` map to.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
+from repro.analysis.model import ProgramModel
+from repro.analysis.registry import all_passes
+from repro.errors import LanguageError
+from repro.lang.ast import Program
+from repro.lang.source import SourceSpan
+
+#: Not a pass: the code used when the program does not even parse.
+PARSE_ERROR = "KB001"
+
+#: Anything the analyzer accepts as a target.
+AnalysisTarget = Union["KnowledgeBase", Program, str]  # noqa: F821
+
+
+def analyze(
+    target: AnalysisTarget,
+    *,
+    passes: Iterable[str] | None = None,
+    ignore: Iterable[str] = (),
+) -> AnalysisReport:
+    """Run the static-analysis suite and return the finalized report.
+
+    ``target`` may be raw program text (parsed here; parse failures raise,
+    use :func:`analyze_source` for the never-raising variant), a parsed
+    :class:`Program`, or a loaded :class:`KnowledgeBase`.
+    """
+    from repro.catalog.database import KnowledgeBase  # local: avoid cycle
+
+    if isinstance(target, str):
+        from repro.lang.parser import parse_program
+
+        model = ProgramModel.from_program(parse_program(target))
+    elif isinstance(target, Program):
+        model = ProgramModel.from_program(target)
+    elif isinstance(target, KnowledgeBase):
+        model = ProgramModel.from_kb(target)
+    else:
+        raise TypeError(f"cannot analyze {type(target).__name__}")
+
+    selected = set(passes) if passes is not None else None
+    suppressed = set(ignore)
+    report = AnalysisReport()
+    for pass_ in all_passes():
+        if selected is not None and pass_.name not in selected:
+            continue
+        report.extend(
+            d for d in pass_.run(model) if d.code not in suppressed
+        )
+    return report.finalize()
+
+
+def analyze_source(
+    source: str,
+    *,
+    passes: Iterable[str] | None = None,
+    ignore: Iterable[str] = (),
+) -> AnalysisReport:
+    """Analyze program text; syntax failures become KB001 diagnostics."""
+    try:
+        return analyze(source, passes=passes, ignore=ignore)
+    except LanguageError as error:
+        line = getattr(error, "line", 1)
+        column = getattr(error, "column", 1)
+        report = AnalysisReport()
+        report.extend(
+            [
+                Diagnostic(
+                    code=PARSE_ERROR,
+                    severity=Severity.ERROR,
+                    message=str(error),
+                    span=SourceSpan(line, column, line, column + 1),
+                    hint="fix the syntax error; no analysis ran past it",
+                    pass_name="parse",
+                )
+            ]
+        )
+        return report.finalize()

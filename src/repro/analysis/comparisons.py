@@ -1,0 +1,69 @@
+"""Pass 4 — comparison satisfiability.
+
+A rule whose body comparisons are jointly unsatisfiable can never fire: no
+substitution makes the body true, so the rule contributes nothing under any
+extension of the database.  Likewise an integrity constraint whose
+comparisons are unsatisfiable is vacuous (it can never be violated).  Both
+are almost certainly authoring mistakes — a contradiction like
+``(X > 3) and (X < 2)``, or an impossible constant test ``(3 < 2)`` — so
+this pass runs the dense-domain decision procedure of
+:mod:`repro.logic.intervals` over every body and warns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.registry import register
+from repro.logic.intervals import satisfiable
+
+UNSATISFIABLE_RULE = "KB401"
+VACUOUS_CONSTRAINT = "KB402"
+
+
+@register(
+    "comparisons",
+    "comparison-body satisfiability",
+    (UNSATISFIABLE_RULE, VACUOUS_CONSTRAINT),
+)
+def run(model) -> Iterator[Diagnostic]:
+    for rule in model.rules:
+        comparisons = rule.comparison_body()
+        if comparisons and not satisfiable(comparisons):
+            yield Diagnostic(
+                code=UNSATISFIABLE_RULE,
+                severity=Severity.WARNING,
+                message=(
+                    "body comparisons are unsatisfiable; the rule can "
+                    "never fire"
+                ),
+                predicate=rule.head.predicate,
+                rule=str(rule),
+                span=rule.span,
+                hint=(
+                    "the conjunction of the rule's comparison atoms has no "
+                    "solution over a dense ordered domain — fix or remove "
+                    "the contradicting comparisons"
+                ),
+                pass_name="comparisons",
+            )
+    for constraint in model.constraints:
+        comparisons = tuple(a for a in constraint.body if a.is_comparison())
+        if comparisons and not satisfiable(comparisons):
+            yield Diagnostic(
+                code=VACUOUS_CONSTRAINT,
+                severity=Severity.WARNING,
+                message=(
+                    "constraint comparisons are unsatisfiable; the "
+                    "constraint can never be violated"
+                ),
+                predicate=None,
+                rule=str(constraint),
+                span=constraint.span,
+                hint=(
+                    "a vacuous constraint enforces nothing — fix the "
+                    "comparisons or delete it"
+                ),
+                pass_name="comparisons",
+            )

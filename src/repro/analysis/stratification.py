@@ -1,0 +1,52 @@
+"""Pass 3 — stratification (no recursion through negation).
+
+A rule set has a stratified model only when no predicate depends negatively
+on its own recursion class.  The dependency analysis already computes the
+violating negative edges; this pass locates the rules that realise each
+edge and reports them with source spans.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.registry import register
+
+UNSTRATIFIABLE = "KB301"
+
+
+@register(
+    "stratification",
+    "stratification / negation cycles",
+    (UNSTRATIFIABLE,),
+)
+def run(model) -> Iterator[Diagnostic]:
+    violations = model.graph.negation_violations()
+    if not violations:
+        return
+    for head, negated in violations:
+        # Every rule that realises this negative edge gets its own finding.
+        culprits = [
+            rule
+            for rule in model.rules
+            if rule.head.predicate == head
+            and any(atom.predicate == negated for atom in rule.negated)
+        ]
+        for rule in culprits or [None]:
+            yield Diagnostic(
+                code=UNSTRATIFIABLE,
+                severity=Severity.ERROR,
+                message=(
+                    f"recursion through negation: {head} depends negatively "
+                    f"on {negated} inside one recursion class"
+                ),
+                predicate=head,
+                rule=str(rule) if rule is not None else None,
+                span=rule.span if rule is not None else None,
+                hint=(
+                    "break the cycle so negation applies only to predicates "
+                    "of strictly lower strata"
+                ),
+                pass_name="stratification",
+            )

@@ -12,24 +12,79 @@ surface language (``%`` comments allowed)::
 
 Ground bodiless clauses are stored as EDB facts (their predicate is
 declared on first use); everything else becomes IDB rules/constraints.
+
+Loading can run the static analyzer (:mod:`repro.analysis`) first, under a
+``lint=`` policy:
+
+* ``"off"`` (default here) — no analysis;
+* ``"warn"`` — analyze and collect the findings (pass a list as
+  ``diagnostics=`` to receive them) but load regardless;
+* ``"strict"`` — reject the program with :class:`LintError` when the
+  analyzer reports any *error*; nothing is loaded.
 """
 
 from __future__ import annotations
 
-from repro.errors import CatalogError
+from typing import TYPE_CHECKING
+
+from repro.errors import CatalogError, LintError
 from repro.catalog.database import KnowledgeBase
-from repro.lang.ast import ConstraintStatement, RuleStatement
+from repro.lang.ast import ConstraintStatement, Program, RuleStatement
 from repro.lang.parser import parse_program
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.diagnostics import AnalysisReport, Diagnostic
 
-def load_program(kb: KnowledgeBase, source: str) -> int:
+#: The accepted lint policies.
+LINT_POLICIES = ("off", "warn", "strict")
+
+
+def lint_policy_check(program: Program, lint: str) -> "AnalysisReport | None":
+    """Analyze *program* under a lint policy; raise on ``strict`` errors.
+
+    Returns the report (``None`` when the policy is ``"off"``) so callers
+    can surface warnings however they like.
+    """
+    if lint not in LINT_POLICIES:
+        raise CatalogError(
+            f"unknown lint policy {lint!r}: expected one of {LINT_POLICIES}"
+        )
+    if lint == "off":
+        return None
+    from repro.analysis.analyzer import analyze  # local: lazy, heavy
+
+    report = analyze(program)
+    if lint == "strict" and report.errors:
+        details = "; ".join(
+            f"{d.code} {d.message}"
+            + (f" (line {d.span.line})" if d.span is not None else "")
+            for d in report.errors
+        )
+        raise LintError(
+            f"program rejected by strict lint: {details}", report=report
+        )
+    return report
+
+
+def load_program(
+    kb: KnowledgeBase,
+    source: str,
+    *,
+    lint: str = "off",
+    diagnostics: "list[Diagnostic] | None" = None,
+) -> int:
     """Load definitions from *source* into *kb*, atomically; returns the count.
 
     The whole program lands or none of it does: a parse error, an invalid
-    rule (arity clash, recursion-discipline violation) or any other failure
-    part-way through restores *kb* to its pre-load state.
+    rule (arity clash, recursion-discipline violation), a strict-lint
+    rejection or any other failure part-way through restores *kb* to its
+    pre-load state.  Under ``lint="warn"`` the findings are appended to the
+    *diagnostics* list when one is given.
     """
     program = parse_program(source)
+    report = lint_policy_check(program, lint)
+    if report is not None and diagnostics is not None:
+        diagnostics.extend(report)
     count = 0
     with kb.transaction():
         for statement in program.statements:
@@ -53,14 +108,24 @@ def load_program(kb: KnowledgeBase, source: str) -> int:
     return count
 
 
-def load_file(kb: KnowledgeBase, path: str) -> int:
+def load_file(
+    kb: KnowledgeBase,
+    path: str,
+    *,
+    lint: str = "off",
+    diagnostics: "list[Diagnostic] | None" = None,
+) -> int:
     """Load definitions from a file into *kb*; returns the count."""
     with open(path) as handle:
-        return load_program(kb, handle.read())
+        return load_program(
+            kb, handle.read(), lint=lint, diagnostics=diagnostics
+        )
 
 
-def kb_from_program(source: str, name: str = "loaded") -> KnowledgeBase:
+def kb_from_program(
+    source: str, name: str = "loaded", *, lint: str = "off"
+) -> KnowledgeBase:
     """Build a fresh knowledge base from definition text."""
     kb = KnowledgeBase(name)
-    load_program(kb, source)
+    load_program(kb, source, lint=lint)
     return kb

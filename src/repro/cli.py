@@ -5,6 +5,7 @@ Usage::
     dbk                      # empty database
     dbk --dataset university # the paper's database
     dbk --load defs.dbk      # load a definition file
+    dbk lint defs.dbk        # static analysis (CI-gradable, --json)
 
 Inside the shell, type any statement of the language::
 
@@ -13,17 +14,24 @@ Inside the shell, type any statement of the language::
     describe where student(X, Y, Z) and (Z < 3.5) and can_ta(X, U)
     compare (describe can_ta(X, Y)) with (describe honor(X))
 
-plus the meta commands ``.catalog``, ``.rules``, ``.cache``, ``.help`` and
-``.quit``.
+plus the meta commands ``.catalog``, ``.rules``, ``.cache``, ``.lint``,
+``.help`` and ``.quit``.
 
 ``dbk cache`` (a subcommand) demonstrates the materialized view cache on a
 bundled dataset: it runs a cold query, warm repeats, and a
 mutate-then-requery round, then prints the cache statistics and speedup.
+
+``dbk lint`` (a subcommand) runs the static analyzer over definition files
+and reports source-located diagnostics; see ``docs/LINT.md``.  Exit codes:
+0 — no findings at or above the ``--fail-on`` threshold (default
+``error``); 1 — findings at/above the threshold; 2 — a file could not be
+read.  ``--json`` emits the stable machine-readable report for CI gates.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -52,7 +60,7 @@ Statements:
   explain subject [where qualifier]          proofs for a query's answers
   compare (describe p) with (describe q)     concept comparison
 Meta:
-  .catalog  .rules  .load FILE  .cache  .cache clear  .help  .quit
+  .catalog  .rules  .load FILE  .lint  .cache  .cache clear  .help  .quit
 """
 
 
@@ -168,6 +176,49 @@ def run_cache_report(args: argparse.Namespace, out=None) -> int:
     return 0
 
 
+def run_lint(args: argparse.Namespace, out=None, err=None) -> int:
+    """``dbk lint``: static analysis over definition files (CI-gradable)."""
+    from repro.analysis.analyzer import analyze_source
+    from repro.analysis.diagnostics import Severity
+
+    out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
+    threshold = {
+        "error": Severity.ERROR,
+        "warning": Severity.WARNING,
+        "info": Severity.INFO,
+    }.get(args.fail_on)
+
+    files: list[dict] = []
+    failed = False
+    for path in args.files:
+        try:
+            with open(path) as handle:
+                source = handle.read()
+        except OSError as error:
+            print(f"error: {error}", file=err)
+            return 2
+        report = analyze_source(
+            source,
+            passes=args.select or None,
+            ignore=args.ignore or (),
+        )
+        if threshold is not None and report.at_or_above(threshold):
+            failed = True
+        if args.json:
+            files.append({"path": path, **report.as_dict()})
+        else:
+            print(report.format(path), file=out)
+    if args.json:
+        totals = {"error": 0, "warning": 0, "info": 0}
+        for entry in files:
+            for severity, count in entry["summary"].items():
+                totals[severity] += count
+        payload = {"version": 1, "files": files, "summary": totals}
+        print(json.dumps(payload, indent=2, sort_keys=False), file=out)
+    return 1 if failed else 0
+
+
 def run_repl(session: Session, stream=None, out=None) -> None:
     """The read-eval-print loop (injectable streams for testing)."""
     stream = stream if stream is not None else sys.stdin
@@ -201,6 +252,9 @@ def run_repl(session: Session, stream=None, out=None) -> None:
             continue
         if line == ".rules":
             emit(format_rules(session.kb.rules()))
+            continue
+        if line == ".lint":
+            emit(session.lint_report().format())
             continue
         if line == ".cache":
             emit(format_cache_stats(session))
@@ -257,6 +311,35 @@ def main(argv: list[str] | None = None) -> int:
             help="warm repetitions to average over",
         )
         return run_cache_report(cache_parser.parse_args(argv[1:]))
+    if argv and argv[0] == "lint":
+        lint_parser = argparse.ArgumentParser(
+            prog="dbk lint",
+            description="statically analyze definition files and report "
+            "source-located diagnostics (see docs/LINT.md)",
+        )
+        lint_parser.add_argument(
+            "files", nargs="+", metavar="FILE",
+            help="definition files to analyze",
+        )
+        lint_parser.add_argument(
+            "--json", action="store_true",
+            help="emit the stable machine-readable report",
+        )
+        lint_parser.add_argument(
+            "--fail-on", choices=("error", "warning", "info", "never"),
+            default="error",
+            help="exit 1 when findings at/above this severity exist "
+            "(default: error)",
+        )
+        lint_parser.add_argument(
+            "--select", action="append", metavar="PASS",
+            help="run only this analysis pass (repeatable)",
+        )
+        lint_parser.add_argument(
+            "--ignore", action="append", metavar="CODE",
+            help="suppress a diagnostic code, e.g. KB503 (repeatable)",
+        )
+        return run_lint(lint_parser.parse_args(argv[1:]))
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--dataset", choices=_DATASETS, help="start from a bundled database")
     parser.add_argument("--load", metavar="FILE", help="load a definition file")

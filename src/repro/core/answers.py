@@ -18,7 +18,7 @@ from repro.logic.atoms import Atom
 from repro.logic.clauses import Rule
 from repro.logic.formulas import format_conjunction
 from repro.logic.substitution import Substitution
-from repro.logic.terms import Variable, is_variable
+from repro.logic.terms import Variable
 
 
 @dataclass(frozen=True)

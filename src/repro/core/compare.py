@@ -30,7 +30,6 @@ from repro.engine.guard import ResourceGuard, require_strict
 from repro.logic.atoms import Atom
 from repro.logic.clauses import Rule
 from repro.logic.formulas import format_conjunction
-from repro.logic.intervals import implies
 from repro.logic.lgg import lgg_conjunctions
 from repro.logic.substitution import Substitution
 from repro.logic.terms import Variable, is_variable

@@ -33,11 +33,11 @@ Algorithm 2 adds, on top (Figure 3, boxes 9a-9e):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Mapping, Sequence
 
 from repro.errors import ResourceExhausted, SearchBudgetExceeded
-from repro.core.answers import KnowledgeAnswer, SearchStatistics
+from repro.core.answers import SearchStatistics
 from repro.engine.guard import ResourceGuard
 from repro.core.transform import (
     KIND_CONTINUATION,

@@ -20,7 +20,6 @@ seed.
 from __future__ import annotations
 
 import random
-from typing import Sequence
 
 from repro.catalog.database import KnowledgeBase
 from repro.lang.parser import parse_rule

@@ -14,10 +14,9 @@ from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro.errors import EngineError, ResourceExhausted, SafetyError
 from repro.catalog.database import KnowledgeBase
-from repro.catalog.relation import Row
 from repro.engine.guard import Diagnostics, ResourceGuard, degrade_catch
 from repro.engine.joins import bind_row, join_conjunction, relation_cost_estimator
-from repro.engine.plan import EXECUTORS, check_executor, compile_conjunction
+from repro.engine.plan import check_executor, compile_conjunction
 from repro.engine.seminaive import SemiNaiveEngine
 from repro.engine.topdown import TopDownEngine
 from repro.logic.atoms import Atom, atoms_variables

@@ -20,7 +20,7 @@ from typing import Iterator, Sequence
 
 from repro.errors import EngineError
 from repro.catalog.database import KnowledgeBase
-from repro.engine.evaluate import evaluate_conjunction, retrieve
+from repro.engine.evaluate import retrieve
 from repro.engine.joins import bind_row, join_conjunction
 from repro.engine.seminaive import SemiNaiveEngine
 from repro.logic.atoms import Atom

@@ -4,70 +4,53 @@ A rule is *safe* when every head variable, and every variable of an order
 comparison, is bound by a positive (non-comparison) body atom or pinned
 through a chain of ``=`` conjuncts anchored at a constant.  Unsafe rules
 would derive infinite relations, so the engines reject them up front.
+
+**Only ``=`` binds.**  A disequality ``X != 3`` excludes one point of a
+dense domain and an order comparison ``X > 3`` bounds a range — neither
+names finitely many values, so neither grounds a variable; a rule such as
+``p(X) <- (X != 3)`` is unsafe.
+
+The check itself lives in :mod:`repro.analysis.safety` (the lint pass with
+codes KB101-KB103); this module keeps the historical raise-based API as a
+thin wrapper and attaches the structured diagnostics — code, source span,
+fix hint — to every :class:`SafetyError` it raises.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.safety import (
+    UNBOUND_COMPARISON,
+    bound_variables,
+    rule_safety_diagnostics,
+)
 from repro.errors import SafetyError
 from repro.logic.atoms import Atom
 from repro.logic.clauses import Rule
-from repro.logic.terms import Variable, is_constant, is_variable
 
-
-def bound_variables(body: Sequence[Atom]) -> frozenset[Variable]:
-    """Variables bound by the body: positive atoms plus ``=`` propagation."""
-    bound: set[Variable] = set()
-    for atom in body:
-        if not atom.is_comparison():
-            bound.update(atom.variables())
-    # Propagate through equality conjuncts to a fixpoint.
-    equalities = [a for a in body if a.predicate == "="]
-    changed = True
-    while changed:
-        changed = False
-        for atom in equalities:
-            left, right = atom.args
-            left_bound = is_constant(left) or left in bound
-            right_bound = is_constant(right) or right in bound
-            if left_bound and is_variable(right) and right not in bound:
-                bound.add(right)  # type: ignore[arg-type]
-                changed = True
-            if right_bound and is_variable(left) and left not in bound:
-                bound.add(left)  # type: ignore[arg-type]
-                changed = True
-    return frozenset(bound)
+__all__ = [
+    "bound_variables",
+    "safety_problems",
+    "check_rule_safety",
+    "check_query_safety",
+]
 
 
 def safety_problems(rule: Rule) -> list[str]:
     """Human-readable safety violations of a rule (empty when safe)."""
-    problems: list[str] = []
-    bound = bound_variables(rule.body)
-    for variable in sorted(rule.head_variables(), key=lambda v: v.name):
-        if variable not in bound:
-            problems.append(f"head variable {variable} is not bound by the body")
-    for atom in rule.body:
-        if atom.is_comparison() and atom.predicate != "=":
-            for variable in atom.variables():
-                if variable not in bound:
-                    problems.append(
-                        f"comparison {atom} uses unbound variable {variable}"
-                    )
-    for atom in rule.negated:
-        for variable in atom.variables():
-            if variable not in bound:
-                problems.append(
-                    f"negated atom {atom} uses unbound variable {variable}"
-                )
-    return problems
+    return [d.message for d in rule_safety_diagnostics(rule)]
 
 
 def check_rule_safety(rule: Rule) -> None:
-    """Raise :class:`SafetyError` when the rule is unsafe."""
-    problems = safety_problems(rule)
-    if problems:
-        raise SafetyError(f"unsafe rule {rule}: " + "; ".join(problems))
+    """Raise :class:`SafetyError` (with diagnostics attached) when unsafe."""
+    diagnostics = rule_safety_diagnostics(rule)
+    if diagnostics:
+        messages = "; ".join(d.message for d in diagnostics)
+        raise SafetyError(
+            f"unsafe rule {rule}: {messages}", diagnostics=diagnostics
+        )
 
 
 def check_query_safety(subject: Atom, qualifier: Sequence[Atom]) -> None:
@@ -79,14 +62,28 @@ def check_query_safety(subject: Atom, qualifier: Sequence[Atom]) -> None:
     should pass the qualifier alone via a synthetic rule.
     """
     body = list(qualifier)
-    bound = bound_variables(body) | set().union(
-        *(a.variable_set() for a in [subject]),
-    )
+    bound = bound_variables(body) | subject.variable_set()
     for atom in body:
         if atom.is_comparison() and atom.predicate != "=":
             for variable in atom.variables():
                 if variable not in bound:
-                    raise SafetyError(
+                    message = (
                         f"comparison {atom} uses variable {variable} "
                         "bound by neither subject nor qualifier"
+                    )
+                    raise SafetyError(
+                        message,
+                        diagnostics=[
+                            Diagnostic(
+                                code=UNBOUND_COMPARISON,
+                                severity=Severity.ERROR,
+                                message=message,
+                                predicate=subject.predicate,
+                                hint=(
+                                    "bind the variable in the subject or a "
+                                    "positive qualifier conjunct"
+                                ),
+                                pass_name="safety",
+                            )
+                        ],
                     )

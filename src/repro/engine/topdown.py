@@ -19,10 +19,9 @@ from repro.engine.guard import ResourceGuard
 from repro.engine.joins import bind_row, join_conjunction
 from repro.engine.safety import check_rule_safety
 from repro.logic.atoms import Atom
-from repro.logic.clauses import Rule
 from repro.logic.rename import VariableRenamer
 from repro.logic.substitution import Substitution
-from repro.logic.terms import Constant, Term, Variable, is_constant
+from repro.logic.terms import Term, Variable, is_constant
 from repro.logic.unify import unify
 
 #: A call key: predicate name plus, per argument, either the bound constant

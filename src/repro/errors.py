@@ -75,7 +75,48 @@ class EngineError(ReproError):
 
 
 class SafetyError(EngineError):
-    """A rule or query is unsafe (unbound head or comparison variables)."""
+    """A rule or query is unsafe (unbound head or comparison variables).
+
+    Carries the structured findings behind the message: ``diagnostics`` is
+    a tuple of :class:`repro.analysis.diagnostics.Diagnostic` records (may
+    be empty for ad-hoc raises), ``code`` is the first finding's stable
+    code (e.g. ``"KB101"``) and ``span`` its source location, when known.
+    """
+
+    def __init__(self, message: str, *, diagnostics: object = ()) -> None:
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)  # type: ignore[arg-type]
+
+    @property
+    def code(self) -> str | None:
+        """The first finding's diagnostic code, when structured."""
+        return self.diagnostics[0].code if self.diagnostics else None
+
+    @property
+    def span(self) -> object | None:
+        """The first finding's source span, when structured."""
+        return self.diagnostics[0].span if self.diagnostics else None
+
+    def __reduce__(self):
+        # Keyword-only fields need explicit pickle support (cf.
+        # ResourceExhausted below): rebuild from the message, then restore
+        # the instance dict.
+        return (self.__class__, (str(self),), dict(self.__dict__))
+
+
+class LintError(ReproError):
+    """A ``lint="strict"`` load rejected a program with static errors.
+
+    ``report`` is the full :class:`repro.analysis.diagnostics.AnalysisReport`;
+    the message lists the error findings.
+    """
+
+    def __init__(self, message: str, *, report: object = None) -> None:
+        super().__init__(message)
+        self.report = report
+
+    def __reduce__(self):
+        return (self.__class__, (str(self),), dict(self.__dict__))
 
 
 class ResourceExhausted(ReproError):

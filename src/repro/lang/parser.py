@@ -38,6 +38,7 @@ from repro.lang.ast import (
     Statement,
 )
 from repro.lang.lexer import tokenize
+from repro.lang.source import SourceSpan
 from repro.lang.tokens import Token, TokenType
 from repro.logic.atoms import Atom
 from repro.logic.clauses import IntegrityConstraint, Rule
@@ -87,6 +88,13 @@ class Parser:
         token = self._peek()
         return ParseError(message, token.line, token.column)
 
+    def _span_from(self, start: Token) -> SourceSpan:
+        """The source span from *start* through the last consumed token."""
+        last = self._tokens[self._pos - 1] if self._pos > 0 else start
+        return SourceSpan(
+            start.line, start.column, last.line, last.column + len(last.text)
+        )
+
     # -- entry points ----------------------------------------------------------------
 
     def parse_statement(self) -> Statement:
@@ -131,6 +139,7 @@ class Parser:
         return ExplainStatement(subject, qualifier)
 
     def _rule(self) -> RuleStatement:
+        start = self._peek()
         head = self._atom()
         if head.is_comparison():
             raise self._error("a rule head may not be a comparison")
@@ -138,14 +147,16 @@ class Parser:
         negated: tuple[Atom, ...] = ()
         if self._accept(TokenType.ARROW):
             body, negated = self._signed_body()
-        return RuleStatement(Rule(head, body, negated))
+        return RuleStatement(Rule(head, body, negated, span=self._span_from(start)))
 
     def _constraint(self) -> ConstraintStatement:
-        self._expect(TokenType.KEYWORD, "not")
+        start = self._expect(TokenType.KEYWORD, "not")
         self._expect(TokenType.LPAREN)
         body = self._body()
         self._expect(TokenType.RPAREN)
-        return ConstraintStatement(IntegrityConstraint(body))
+        return ConstraintStatement(
+            IntegrityConstraint(body, span=self._span_from(start))
+        )
 
     def _retrieve(self) -> RetrieveStatement:
         self._expect(TokenType.KEYWORD, "retrieve")

@@ -1,0 +1,35 @@
+"""Source locations for parsed statements.
+
+A :class:`SourceSpan` records where a statement sits in its source text
+(1-based lines and columns, end exclusive).  The parser attaches one to
+every rule and integrity constraint it builds, so downstream consumers —
+most importantly the static analyzer (:mod:`repro.analysis`) — can report
+diagnostics that point at the offending definition instead of merely
+echoing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A half-open region of source text (1-based; ``end_column`` exclusive)."""
+
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+    def as_dict(self) -> dict[str, int]:
+        """A JSON-friendly rendering with a stable key set."""
+        return {
+            "line": self.line,
+            "column": self.column,
+            "end_line": self.end_line,
+            "end_column": self.end_column,
+        }

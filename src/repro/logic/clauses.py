@@ -30,9 +30,14 @@ class Rule:
     ``negated`` carries negated body atoms (``not q(X)``) for the stratified
     extension of the data engines; the paper's own fragment — and the
     describe machinery — uses positive bodies only.
+
+    ``span`` (like ``label``) is provenance: the parser sets it to the
+    rule's :class:`~repro.lang.source.SourceSpan` so static-analysis
+    diagnostics can point at source.  It never participates in equality or
+    hashing and survives substitution and the ``with_*`` copies.
     """
 
-    __slots__ = ("head", "body", "negated", "label")
+    __slots__ = ("head", "body", "negated", "label", "span")
 
     def __init__(
         self,
@@ -40,6 +45,7 @@ class Rule:
         body: Sequence[Atom] = (),
         negated: Sequence[Atom] = (),
         label: str | None = None,
+        span: object | None = None,
     ) -> None:
         if head.is_comparison():
             raise LogicError("a rule head may not be a built-in comparison")
@@ -53,6 +59,8 @@ class Rule:
                 )
         #: Optional provenance label (e.g. "r_T", "r_I:1", "r_C", or a source name).
         self.label = label
+        #: Optional source location (a :class:`~repro.lang.source.SourceSpan`).
+        self.span = span
 
     # -- structural protocol ----------------------------------------------------
 
@@ -121,21 +129,22 @@ class Rule:
     # -- construction -----------------------------------------------------------------
 
     def substitute(self, theta: Substitution) -> "Rule":
-        """The rule's image under a substitution (label preserved)."""
+        """The rule's image under a substitution (label and span preserved)."""
         return Rule(
             theta.apply(self.head),
             theta.apply_all(self.body),
             theta.apply_all(self.negated),
             label=self.label,
+            span=self.span,
         )
 
     def with_body(self, body: Sequence[Atom]) -> "Rule":
         """A copy with a replacement positive body."""
-        return Rule(self.head, body, self.negated, label=self.label)
+        return Rule(self.head, body, self.negated, label=self.label, span=self.span)
 
     def with_head(self, head: Atom) -> "Rule":
         """A copy with a replacement head."""
-        return Rule(head, self.body, self.negated, label=self.label)
+        return Rule(head, self.body, self.negated, label=self.label, span=self.span)
 
 
 class IntegrityConstraint:
@@ -144,13 +153,20 @@ class IntegrityConstraint:
     Satisfied when no substitution makes every conjunct true.
     """
 
-    __slots__ = ("body", "label")
+    __slots__ = ("body", "label", "span")
 
-    def __init__(self, body: Sequence[Atom], label: str | None = None) -> None:
+    def __init__(
+        self,
+        body: Sequence[Atom],
+        label: str | None = None,
+        span: object | None = None,
+    ) -> None:
         if not body:
             raise LogicError("an integrity constraint needs at least one conjunct")
         self.body: tuple[Atom, ...] = tuple(body)
         self.label = label
+        #: Optional source location (a :class:`~repro.lang.source.SourceSpan`).
+        self.span = span
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, IntegrityConstraint) and self.body == other.body
@@ -171,7 +187,9 @@ class IntegrityConstraint:
 
     def substitute(self, theta: Substitution) -> "IntegrityConstraint":
         """The constraint's image under a substitution."""
-        return IntegrityConstraint(theta.apply_all(self.body), label=self.label)
+        return IntegrityConstraint(
+            theta.apply_all(self.body), label=self.label, span=self.span
+        )
 
 
 def fact(predicate: str, *args: object) -> Rule:

@@ -34,7 +34,7 @@ from typing import Hashable, Iterable, Sequence
 from repro.errors import LogicError
 from repro.logic.atoms import Atom
 from repro.logic.builtins import negate_comparison
-from repro.logic.terms import Constant, Term, Variable, is_constant, is_variable
+from repro.logic.terms import Term, is_constant, is_variable
 
 
 @dataclass(frozen=True)

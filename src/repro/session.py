@@ -76,6 +76,14 @@ class Session:
     shared across the session.  A ``guard=`` passed to :meth:`query` /
     :meth:`execute` overrides the session guard for that one statement.
 
+    ``lint`` is the session's default static-analysis policy for
+    :meth:`load`: ``"warn"`` (the default) runs the analyzer
+    (:mod:`repro.analysis`) over every loaded program and stores the report
+    in :attr:`last_lint`; ``"strict"`` additionally rejects programs with
+    error findings (:class:`~repro.errors.LintError`, nothing loaded);
+    ``"off"`` skips analysis.  A ``lint=`` passed to :meth:`load` overrides
+    the session policy for that one program.
+
     ``cache`` controls the session's :class:`~repro.engine.viewcache.ViewCache`:
     ``True`` (the default) builds one over the knowledge base, ``False`` /
     ``None`` disables caching, and a :class:`ViewCache` instance (bound to
@@ -97,6 +105,7 @@ class Session:
         executor: str = "batch",
         guard: ResourceGuard | None = None,
         cache: "ViewCache | bool | None" = True,
+        lint: str = "warn",
     ) -> None:
         self.kb = kb if kb is not None else KnowledgeBase()
         self.engine = engine
@@ -107,6 +116,17 @@ class Session:
         self.executor = executor
         #: Session-wide resource governance specification (see class doc).
         self.guard = guard
+        from repro.catalog.loader import LINT_POLICIES
+
+        if lint not in LINT_POLICIES:
+            raise CoreError(
+                f"unknown lint policy {lint!r}: expected one of {LINT_POLICIES}"
+            )
+        #: Default static-analysis policy for :meth:`load` (see class doc).
+        self.lint = lint
+        #: The :class:`~repro.analysis.AnalysisReport` of the most recent
+        #: linted :meth:`load` (``None`` before any, or under ``lint="off"``).
+        self.last_lint = None
         #: Materialised-view cache, or ``None`` when disabled (see class doc).
         if isinstance(cache, ViewCache):
             if cache.kb is not self.kb:
@@ -332,15 +352,22 @@ class Session:
 
     # -- convenience ------------------------------------------------------------------
 
-    def load(self, source: str) -> int:
+    def load(self, source: str, lint: str | None = None) -> int:
         """Load a program (facts, rules, constraints), atomically.
 
         Returns the statement count.  All-or-nothing: if any definition is
-        invalid, the knowledge base is left exactly as it was.
+        invalid — or *lint* (defaulting to the session policy) is
+        ``"strict"`` and the static analyzer reports errors — the knowledge
+        base is left exactly as it was.  Under ``"warn"`` and ``"strict"``
+        the analysis report lands in :attr:`last_lint`.
         """
+        from repro.catalog.loader import lint_policy_check
         from repro.lang.parser import parse_program
 
         program = parse_program(source)
+        report = lint_policy_check(program, lint if lint is not None else self.lint)
+        if report is not None:
+            self.last_lint = report
         count = 0
         with self.kb.transaction():
             for statement in program.statements:
@@ -350,3 +377,14 @@ class Session:
                 else:
                     raise CoreError("load() accepts definitions only; use query()")
         return count
+
+    def lint_report(self):
+        """Run the static analyzer over the current knowledge base.
+
+        Unlike :attr:`last_lint` (the report of the most recent load) this
+        reflects everything in the knowledge base right now, including
+        definitions added through :meth:`query`.
+        """
+        from repro.analysis.analyzer import analyze
+
+        return analyze(self.kb)

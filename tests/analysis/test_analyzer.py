@@ -1,0 +1,109 @@
+"""The analyzer driver: targets, pass selection, KB001, acceptance demo."""
+
+import pickle
+
+import pytest
+
+from repro.analysis.analyzer import analyze, analyze_source
+from repro.analysis.registry import PASS_ORDER, all_passes, known_codes
+from repro.catalog.database import KnowledgeBase
+from repro.catalog.loader import load_program
+from repro.lang.parser import parse_program, parse_rule
+
+
+class TestTargets:
+    def test_accepts_source_text(self):
+        assert analyze("e(a).\n").clean
+
+    def test_accepts_parsed_program(self):
+        program = parse_program("e(a).\np(X, W) <- e(X).\n")
+        assert "KB101" in analyze(program).codes()
+
+    def test_accepts_knowledge_base(self):
+        kb = KnowledgeBase("t")
+        load_program(kb, "e(a, b).\np(X) <- e(X, Y).\n")
+        report = analyze(kb)
+        assert report.ok
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            analyze(42)
+
+
+class TestPassSelection:
+    def test_registry_order_is_documented(self):
+        assert tuple(p.name for p in all_passes()) == PASS_ORDER
+
+    def test_every_pass_declares_its_codes(self):
+        codes = known_codes()
+        for expected in ("KB101", "KB201", "KB301", "KB401", "KB501", "KB601"):
+            assert expected in codes
+
+    def test_select_runs_only_that_pass(self):
+        source = "p(X, W) <- ghost(X).\n"
+        report = analyze(source, passes=["safety"])
+        assert report.codes() == ["KB101"]
+
+    def test_ignore_suppresses_codes(self):
+        source = "e(a).\ntop(X) <- e(X).\n"
+        assert analyze(source, ignore=["KB503"]).clean
+
+
+class TestParseFailures:
+    def test_analyze_source_turns_syntax_errors_into_kb001(self):
+        report = analyze_source("p(X <- q(X).\n")
+        (d,) = list(report)
+        assert d.code == "KB001"
+        assert d.severity.value == "error"
+        assert d.span is not None and d.span.line == 1
+
+    def test_analyze_on_text_raises(self):
+        from repro.errors import LanguageError
+
+        with pytest.raises(LanguageError):
+            analyze("p(X <- q(X).\n")
+
+
+class TestAcceptanceScenario:
+    """The issue's acceptance criterion: four defects, four codes, located."""
+
+    SOURCE = (
+        "link(a, b).\n"                                     # 1
+        "link(b, c).\n"                                     # 2
+        "grows(X, Y) <- grows(Y, X) and link(X, Y).\n"      # 3: untyped
+        "unsafe(X, W) <- link(X, Y).\n"                     # 4: unsafe
+        "never(X) <- link(X, Y) and (Y > 3) and (Y < 2).\n" # 5: unsat body
+        "orphan(X) <- ghost(X).\n"                          # 6: unreachable
+    )
+
+    def test_all_four_defects_reported_with_correct_lines(self):
+        report = analyze(self.SOURCE)
+        at = {
+            code: [d.span.line for d in report if d.code == code]
+            for code in report.codes()
+        }
+        assert at["KB202"] == [3]
+        assert at["KB101"] == [4]
+        assert at["KB401"] == [5]
+        assert at["KB501"] == [6]
+        assert 6 in at["KB502"]  # orphan additionally can never derive
+
+    def test_report_is_position_sorted_and_picklable(self):
+        report = analyze(self.SOURCE)
+        lines = [d.span.line for d in report if d.span is not None]
+        assert lines == sorted(lines)
+        clone = pickle.loads(pickle.dumps(report))
+        assert [d.code for d in clone] == [d.code for d in report]
+
+
+class TestSpans:
+    def test_rule_spans_survive_substitution(self):
+        rule = parse_rule("p(X) <- q(X).")
+        assert rule.span is not None
+        assert rule.with_body(rule.body).span == rule.span
+
+    def test_spans_do_not_affect_equality(self):
+        a = parse_rule("p(X) <- q(X).")
+        b = parse_rule("\n\np(X) <- q(X).")
+        assert a == b and hash(a) == hash(b)
+        assert a.span != b.span

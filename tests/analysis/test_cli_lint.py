@@ -1,0 +1,137 @@
+"""``dbk lint``: text and JSON output, exit codes, select/ignore."""
+
+import argparse
+import io
+import json
+
+import pytest
+
+from repro.cli import main, run_lint
+
+BROKEN = (
+    "link(a, b).\n"
+    "grows(X, Y) <- grows(Y, X) and link(X, Y).\n"
+    "unsafe(X, W) <- link(X, Y).\n"
+)
+CLEAN = "link(a, b).\nhop(X, Y) <- link(X, Y).\n"
+
+
+@pytest.fixture
+def program(tmp_path):
+    def write(source, name="prog.dbk"):
+        path = tmp_path / name
+        path.write_text(source)
+        return str(path)
+
+    return write
+
+
+def lint(*argv):
+    out, err = io.StringIO(), io.StringIO()
+    parser = argparse.ArgumentParser()
+    parser.add_argument("files", nargs="+")
+    parser.add_argument("--json", action="store_true")
+    parser.add_argument(
+        "--fail-on", choices=("error", "warning", "info", "never"),
+        default="error",
+    )
+    parser.add_argument("--select", action="append")
+    parser.add_argument("--ignore", action="append")
+    code = run_lint(parser.parse_args(list(argv)), out=out, err=err)
+    return code, out.getvalue(), err.getvalue()
+
+
+class TestTextOutput:
+    def test_broken_program_exits_one_with_located_findings(self, program):
+        path = program(BROKEN)
+        code, out, _ = lint(path)
+        assert code == 1
+        assert f"{path}:2:1: error KB202:" in out
+        assert f"{path}:3:1: error KB101:" in out
+        assert out.rstrip().splitlines()[-1].startswith("2 error(s),")
+
+    def test_clean_program_exits_zero(self, program):
+        code, out, _ = lint(program(CLEAN), "--ignore", "KB503")
+        assert code == 0
+        assert "clean (no findings)" in out
+
+    def test_missing_file_exits_two(self):
+        code, _, err = lint("/nonexistent/prog.dbk")
+        assert code == 2
+        assert "error:" in err
+
+    def test_syntax_error_is_kb001_not_a_crash(self, program):
+        code, out, _ = lint(program("p(X <- q(X).\n"))
+        assert code == 1
+        assert "KB001" in out
+
+
+class TestThresholds:
+    def test_warnings_pass_at_default_threshold(self, program):
+        path = program(CLEAN + "q(X) <- missing(X).\n")
+        code, _, _ = lint(path)
+        assert code == 0
+
+    def test_fail_on_warning_tightens(self, program):
+        path = program(CLEAN + "q(X) <- missing(X).\n")
+        code, _, _ = lint(path, "--fail-on", "warning")
+        assert code == 1
+
+    def test_fail_on_info_catches_entry_points(self, program):
+        code, _, _ = lint(program(CLEAN), "--fail-on", "info")
+        assert code == 1
+
+    def test_fail_on_never_always_exits_zero(self, program):
+        code, _, _ = lint(program(BROKEN), "--fail-on", "never")
+        assert code == 0
+
+
+class TestSelectIgnore:
+    def test_select_restricts_the_passes(self, program):
+        code, out, _ = lint(program(BROKEN), "--select", "recursion")
+        assert code == 1
+        assert "KB202" in out and "KB101" not in out
+
+    def test_ignore_suppresses_codes(self, program):
+        code, out, _ = lint(
+            program(BROKEN), "--ignore", "KB101", "--ignore", "KB202",
+            "--ignore", "KB201",
+        )
+        assert "KB101" not in out and "KB202" not in out
+
+
+class TestJsonOutput:
+    def test_stable_payload_shape(self, program):
+        path = program(BROKEN)
+        code, out, _ = lint(path, "--json")
+        payload = json.loads(out)
+        assert code == 1
+        assert payload["version"] == 1
+        (entry,) = payload["files"]
+        assert entry["path"] == path
+        first = entry["diagnostics"][0]
+        assert list(first) == [
+            "code", "severity", "message", "predicate", "rule",
+            "span", "hint", "pass",
+        ]
+        assert payload["summary"]["error"] == entry["summary"]["error"] == 2
+
+    def test_multiple_files_aggregate(self, program):
+        a = program(CLEAN, "a.dbk")
+        b = program(BROKEN, "b.dbk")
+        _, out, _ = lint(a, b, "--json")
+        payload = json.loads(out)
+        assert [e["path"] for e in payload["files"]] == [a, b]
+        assert payload["summary"]["error"] == 2
+
+
+class TestMainEntry:
+    def test_main_dispatches_the_lint_subcommand(self, program, capsys):
+        path = program(BROKEN)
+        assert main(["lint", path]) == 1
+        out = capsys.readouterr().out
+        assert "KB101" in out
+
+    def test_main_clean_run(self, program, capsys):
+        assert main(["lint", program(CLEAN)]) == 0
+        assert "KB503" in capsys.readouterr().out  # info shown, not fatal

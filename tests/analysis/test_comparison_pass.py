@@ -1,0 +1,36 @@
+"""Pass 4 (comparison satisfiability) — KB401/KB402 diagnostics."""
+
+from repro.analysis.analyzer import analyze
+
+BASE = "q(a, 1).\n"
+
+
+class TestComparisonSatisfiability:
+    def test_satisfiable_comparisons_are_silent(self):
+        source = BASE + "p(X) <- q(X, Y) and (Y > 0) and (Y < 10).\n"
+        assert list(analyze(source, passes=["comparisons"])) == []
+
+    def test_contradictory_bounds_are_kb401(self):
+        source = BASE + "p(X) <- q(X, Y) and (Y > 3) and (Y < 2).\n"
+        report = analyze(source, passes=["comparisons"])
+        (d,) = list(report)
+        assert d.code == "KB401"
+        assert d.severity.value == "warning"
+        assert "can never fire" in d.message
+        assert d.span.line == 2
+
+    def test_equality_against_excluded_point_is_kb401(self):
+        source = BASE + "p(X) <- q(X, Y) and (Y = 3) and (Y != 3).\n"
+        (d,) = list(analyze(source, passes=["comparisons"]))
+        assert d.code == "KB401"
+
+    def test_unsatisfiable_constraint_is_kb402(self):
+        source = BASE + "not (q(X, Y) and (Y > 3) and (Y <= 3)).\n"
+        report = analyze(source, passes=["comparisons"])
+        (d,) = list(report)
+        assert d.code == "KB402"
+        assert d.severity.value == "warning"
+        assert d.span.line == 2
+
+    def test_rule_without_comparisons_is_silent(self):
+        assert list(analyze(BASE + "p(X) <- q(X, Y).\n", passes=["comparisons"])) == []

@@ -1,0 +1,73 @@
+"""Pass 6 (arity and name consistency) — KB601-KB604 diagnostics."""
+
+from repro.analysis.analyzer import analyze
+from repro.catalog.database import KnowledgeBase
+
+
+def run(source):
+    return analyze(source, passes=["consistency"])
+
+
+class TestConflictingDefinitions:
+    def test_two_fact_arities_is_kb601(self):
+        source = "p(a).\np(a, b).\n"
+        (d,) = list(run(source))
+        assert d.code == "KB601"
+        assert d.severity.value == "error"
+        assert "defined at arity 2 but was first defined at arity 1" in d.message
+
+    def test_fact_versus_rule_head_arity_is_kb601(self):
+        source = "e(a).\np(a, b).\np(X) <- e(X).\n"
+        codes = [d.code for d in run(source)]
+        assert "KB601" in codes
+
+    def test_consistent_arity_is_silent(self):
+        source = "p(a, b).\np(b, c).\nq(X) <- p(X, Y).\n"
+        assert list(run(source)) == []
+
+
+class TestShadowing:
+    def test_facts_plus_rules_is_kb602(self):
+        source = "e(a).\nf(a).\nf(X) <- e(X).\n"
+        (d,) = list(run(source))
+        assert d.code == "KB602"
+        assert "both stored facts and defining rules" in d.message
+        assert d.span.line == 3
+
+
+class TestArityDrift:
+    def test_body_reference_at_wrong_arity_is_kb603_warning(self):
+        # The engines evaluate this successfully (the atom matches nothing),
+        # which is exactly why it is a warning and not an error: strict-lint
+        # loads must never reject an engine-evaluable program.
+        source = "e(a).\np(X) <- e(X, Y).\n"
+        (d,) = list(run(source))
+        assert d.code == "KB603"
+        assert d.severity.value == "warning"
+        assert "used at arity 2 but defined at arity 1" in d.message
+        assert d.span.line == 2
+
+    def test_drift_not_reported_for_conflicted_definitions(self):
+        # Once KB601 fires there is no single "defined arity" to drift from.
+        source = "p(a).\np(a, b).\nq(X) <- p(X, Y, Z).\n"
+        codes = [d.code for d in run(source)]
+        assert codes.count("KB601") == 1
+        assert "KB603" not in codes
+
+
+class TestReservedNames:
+    def test_api_built_keyword_predicate_is_kb604(self):
+        kb = KnowledgeBase("t")
+        kb.declare_edb("retrieve", 1)
+        kb.add_fact("retrieve", "a")
+        report = analyze(kb, passes=["consistency"])
+        (d,) = list(report)
+        assert d.code == "KB604"
+        assert d.severity.value == "warning"
+        assert "'retrieve'" in d.message
+
+    def test_ordinary_names_are_silent(self):
+        kb = KnowledgeBase("t")
+        kb.declare_edb("edge", 2)
+        kb.add_fact("edge", "a", "b")
+        assert list(analyze(kb, passes=["consistency"])) == []

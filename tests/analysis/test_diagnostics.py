@@ -1,0 +1,84 @@
+"""The diagnostic model: severities, rendering, report queries."""
+
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
+from repro.lang.source import SourceSpan
+
+
+def diag(code="KB101", severity=Severity.ERROR, line=3, **kwargs):
+    kwargs.setdefault("message", "something is wrong")
+    return Diagnostic(
+        code=code,
+        severity=severity,
+        span=SourceSpan(line, 1, line, 10),
+        **kwargs,
+    )
+
+
+class TestSeverity:
+    def test_ordering_ranks(self):
+        assert Severity.ERROR.rank > Severity.WARNING.rank > Severity.INFO.rank
+
+    def test_str_is_the_json_value(self):
+        assert str(Severity.WARNING) == "warning"
+
+
+class TestDiagnosticRendering:
+    def test_format_with_path_and_span(self):
+        d = diag(rule="p(X) <- q(X).", hint="fix it")
+        text = d.format("prog.dbk")
+        assert text.splitlines()[0] == (
+            "prog.dbk:3:1: error KB101: something is wrong"
+        )
+        assert "    rule: p(X) <- q(X)." in text
+        assert "    hint: fix it" in text
+
+    def test_format_without_span(self):
+        d = Diagnostic(code="KB604", severity=Severity.WARNING, message="m")
+        assert d.format() == "warning KB604: m"
+
+    def test_as_dict_stable_key_order(self):
+        d = diag()
+        assert list(d.as_dict()) == [
+            "code", "severity", "message", "predicate", "rule",
+            "span", "hint", "pass",
+        ]
+        assert d.as_dict()["span"] == {
+            "line": 3, "column": 1, "end_line": 3, "end_column": 10,
+        }
+
+
+class TestAnalysisReport:
+    def test_selection_properties(self):
+        report = AnalysisReport()
+        report.extend([
+            diag("KB101", Severity.ERROR),
+            diag("KB502", Severity.WARNING),
+            diag("KB503", Severity.INFO),
+        ])
+        assert [d.code for d in report.errors] == ["KB101"]
+        assert [d.code for d in report.warnings] == ["KB502"]
+        assert [d.code for d in report.infos] == ["KB503"]
+        assert not report.ok and not report.clean
+        assert report.codes() == ["KB101", "KB502", "KB503"]
+        assert len(report.at_or_above(Severity.WARNING)) == 2
+        assert report.summary() == {"error": 1, "warning": 1, "info": 1}
+
+    def test_clean_report(self):
+        report = AnalysisReport()
+        assert report.ok and report.clean and not report
+        assert "clean" in report.format("prog.dbk")
+
+    def test_finalize_sorts_by_position_then_code(self):
+        report = AnalysisReport()
+        report.extend([
+            diag("KB502", Severity.WARNING, line=9),
+            diag("KB101", Severity.ERROR, line=2),
+            diag("KB202", Severity.ERROR, line=2),
+        ])
+        report.finalize()
+        assert [d.code for d in report] == ["KB101", "KB202", "KB502"]
+
+    def test_summary_line_in_format(self):
+        report = AnalysisReport()
+        report.extend([diag("KB101", Severity.ERROR)])
+        assert report.format().endswith("1 error(s), 0 warning(s), 0 info")

@@ -1,0 +1,110 @@
+"""The ``lint=`` load policy: off / warn / strict, loader and Session."""
+
+import pytest
+
+from repro.catalog.database import KnowledgeBase
+from repro.catalog.loader import (
+    LINT_POLICIES,
+    kb_from_program,
+    load_program,
+)
+from repro.errors import CatalogError, CoreError, LintError
+from repro.session import Session
+
+CLEAN = "e(a, b).\np(X) <- e(X, Y).\n"
+WARNS = CLEAN + "q(X) <- missing(X).\n"          # KB501/KB502: loads fine
+ERRORS = CLEAN + "bad(X, W) <- e(X, Y).\n"       # KB101: strict rejects
+
+
+class TestLoaderPolicy:
+    def test_policies_are_documented(self):
+        assert LINT_POLICIES == ("off", "warn", "strict")
+
+    def test_unknown_policy_is_a_catalog_error(self):
+        with pytest.raises(CatalogError, match="unknown lint policy"):
+            load_program(KnowledgeBase("t"), CLEAN, lint="pedantic")
+
+    def test_off_collects_nothing(self):
+        collected = []
+        load_program(KnowledgeBase("t"), WARNS, lint="off", diagnostics=collected)
+        assert collected == []
+
+    def test_warn_loads_and_collects(self):
+        kb = KnowledgeBase("t")
+        collected = []
+        count = load_program(kb, WARNS, lint="warn", diagnostics=collected)
+        assert count == 3
+        assert {d.code for d in collected} >= {"KB501", "KB502"}
+        assert kb.has_predicate("q")
+
+    def test_strict_accepts_warning_only_programs(self):
+        kb = KnowledgeBase("t")
+        assert load_program(kb, WARNS, lint="strict") == 3
+
+    def test_strict_rejects_errors_before_loading_anything(self):
+        kb = KnowledgeBase("t")
+        load_program(kb, "seed(x).\n")
+        before = kb.rules_version
+        with pytest.raises(LintError) as excinfo:
+            load_program(kb, ERRORS, lint="strict")
+        error = excinfo.value
+        assert "KB101" in str(error)
+        assert "line 3" in str(error)
+        assert error.report is not None and not error.report.ok
+        # Nothing landed: no new predicates, no catalog mutation.
+        assert not kb.has_predicate("e") and not kb.has_predicate("bad")
+        assert kb.rules_version == before
+
+    def test_kb_from_program_threads_the_policy(self):
+        with pytest.raises(LintError):
+            kb_from_program(ERRORS, lint="strict")
+        assert kb_from_program(WARNS, lint="warn").has_predicate("q")
+
+
+class TestSessionPolicy:
+    def test_default_policy_is_warn(self):
+        session = Session()
+        assert session.lint == "warn"
+        session.load(WARNS)
+        assert session.last_lint is not None
+        assert {d.code for d in session.last_lint} >= {"KB501"}
+
+    def test_invalid_session_policy_raises(self):
+        with pytest.raises(CoreError, match="unknown lint policy"):
+            Session(lint="everything")
+
+    def test_strict_session_rejects_and_stays_clean(self):
+        session = Session(lint="strict")
+        with pytest.raises(LintError):
+            session.load(ERRORS)
+        assert not session.kb.has_predicate("e")
+        session.load(CLEAN)  # still usable afterwards
+        assert session.query("retrieve p(X)").rows
+
+    def test_per_load_override(self):
+        session = Session(lint="strict")
+        session.load(ERRORS, lint="off")  # explicit escape hatch
+        assert session.kb.has_predicate("bad")
+
+    def test_lint_report_analyzes_the_loaded_kb(self):
+        session = Session()
+        session.load(CLEAN)
+        report = session.lint_report()
+        assert report.ok
+        assert "KB503" in report.codes()  # p is an entry point
+
+
+class TestLintErrorPickling:
+    def test_report_survives_a_roundtrip(self):
+        import pickle
+
+        try:
+            kb_from_program(ERRORS, lint="strict")
+        except LintError as error:
+            clone = pickle.loads(pickle.dumps(error))
+            assert clone.report is not None
+            assert [d.code for d in clone.report] == [
+                d.code for d in error.report
+            ]
+        else:  # pragma: no cover
+            pytest.fail("strict lint accepted an unsafe rule")

@@ -1,0 +1,38 @@
+"""Pass 3 (stratification) — KB301 negation-cycle diagnostics."""
+
+from repro.analysis.analyzer import analyze
+
+
+class TestStratification:
+    def test_stratified_negation_is_silent(self):
+        source = (
+            "city(rome).\n"
+            "flight(rome, paris).\n"
+            "connected(X) <- flight(X, Y).\n"
+            "isolated(X) <- city(X) and not connected(X).\n"
+        )
+        assert [d for d in analyze(source, passes=["stratification"])] == []
+
+    def test_negative_self_cycle_is_kb301(self):
+        source = (
+            "p(a).\n"
+            "win(X) <- p(X) and not win(X).\n"
+        )
+        report = analyze(source, passes=["stratification"])
+        (d,) = list(report)
+        assert d.code == "KB301"
+        assert d.severity.value == "error"
+        assert "recursion through negation" in d.message
+        assert d.predicate == "win"
+        assert d.span.line == 2
+
+    def test_two_step_negative_cycle_reports_the_culprit_rules(self):
+        source = (
+            "p(a).\n"
+            "a(X) <- p(X) and not b(X).\n"
+            "b(X) <- p(X) and not a(X).\n"
+        )
+        report = analyze(source, passes=["stratification"])
+        assert {d.code for d in report} == {"KB301"}
+        located = {(d.predicate, d.span.line) for d in report}
+        assert ("a", 2) in located and ("b", 3) in located

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""A stdlib-only style gate: the pyflakes subset we can check offline.
+
+The real lint stack (pinned ``ruff`` + ``mypy``, configured in
+``pyproject.toml``) runs in CI, where the tools can be installed.  This
+checker needs nothing beyond the standard library, so the same core rules
+are enforceable in offline development environments:
+
+* ``F401`` unused module-level import
+* ``F811`` module-level redefinition of an imported name
+* ``E711``/``E712`` comparison to ``None``/``True``/``False`` with ``==``/``!=``
+* ``E722`` bare ``except:``
+* ``E9``   syntax errors (the file must parse)
+* ``W291``/``W191`` trailing whitespace / tab indentation
+
+Usage::
+
+    python tools/stylecheck.py src/repro tools benchmarks
+
+Exit status 1 when any finding is reported, 0 when clean — the same
+contract as ``ruff check``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Files whose unused imports are deliberate re-exports (mirrors the
+#: per-file-ignores table in pyproject.toml).
+REEXPORT_FILES = frozenset({"__init__.py"})
+
+
+def iter_sources(targets: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def _imported_names(tree: ast.Module) -> dict[str, tuple[int, str]]:
+    """Module-level imported binding -> (line, shown name)."""
+    names: dict[str, tuple[int, str]] = {}
+    for node in tree.body:
+        statements = [node]
+        # Imports guarded by `if TYPE_CHECKING:` still bind names that
+        # annotations reference as plain strings; skip those blocks.
+        if isinstance(node, ast.If):
+            continue
+        for stmt in statements:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    names[bound] = (stmt.lineno, alias.name)
+            elif isinstance(stmt, ast.ImportFrom):
+                if stmt.module == "__future__":
+                    continue
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    names[bound] = (stmt.lineno, alias.name)
+    return names
+
+
+def _used_names(tree: ast.Module) -> set[str]:
+    used: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            root = node
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if isinstance(root, ast.Name):
+                used.add(root.id)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # __all__ entries and string annotations count as uses.
+            used.add(node.value)
+            used.update(part for part in node.value.split(".") if part)
+    return used
+
+
+def check_file(path: Path) -> list[str]:
+    source = path.read_text()
+    findings: list[str] = []
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        line = error.lineno or 0
+        return [f"{path}:{line}:1: E999 syntax error: {error.msg}"]
+
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        stripped = line.rstrip("\n")
+        if stripped != stripped.rstrip():
+            findings.append(f"{path}:{lineno}:1: W291 trailing whitespace")
+        if stripped[: len(stripped) - len(stripped.lstrip())].count("\t"):
+            findings.append(f"{path}:{lineno}:1: W191 tab indentation")
+
+    imported = _imported_names(tree)
+    if path.name not in REEXPORT_FILES:
+        used = _used_names(tree)
+        for bound, (lineno, shown) in imported.items():
+            if bound not in used:
+                findings.append(
+                    f"{path}:{lineno}:1: F401 `{shown}` imported but unused"
+                )
+
+    seen_at: dict[str, int] = {}
+    for bound, (lineno, _) in sorted(imported.items(), key=lambda kv: kv[1][0]):
+        if bound in seen_at:
+            findings.append(
+                f"{path}:{lineno}:1: F811 redefinition of `{bound}` "
+                f"(first imported on line {seen_at[bound]})"
+            )
+        seen_at[bound] = lineno
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node.name in imported:
+                findings.append(
+                    f"{path}:{node.lineno}:1: F811 `{node.name}` shadows the "
+                    f"import on line {imported[node.name][0]}"
+                )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Compare):
+            for op, comparator in zip(node.ops, node.comparators):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if isinstance(comparator, ast.Constant):
+                    if comparator.value is None:
+                        findings.append(
+                            f"{path}:{node.lineno}:{node.col_offset + 1}: "
+                            "E711 comparison to None (use `is`/`is not`)"
+                        )
+                    elif comparator.value is True or comparator.value is False:
+                        findings.append(
+                            f"{path}:{node.lineno}:{node.col_offset + 1}: "
+                            "E712 comparison to True/False (use `is` or truthiness)"
+                        )
+        elif isinstance(node, ast.ExceptHandler) and node.type is None:
+            findings.append(
+                f"{path}:{node.lineno}:{node.col_offset + 1}: E722 bare except"
+            )
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    targets = argv or ["src/repro", "tools", "benchmarks"]
+    files = iter_sources(targets)
+    if not files:
+        print(f"stylecheck: no Python files under {targets}", file=sys.stderr)
+        return 2
+    findings = [finding for path in files for finding in check_file(path)]
+    for finding in findings:
+        print(finding)
+    print(
+        f"stylecheck: {len(findings)} finding(s) in {len(files)} file(s)",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
