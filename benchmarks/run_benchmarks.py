@@ -35,6 +35,7 @@ from repro.engine import retrieve
 from repro.engine.guard import ResourceGuard
 from repro.engine.plan import EXECUTORS
 from repro.engine.seminaive import SemiNaiveEngine
+from repro.obs import NULL_TRACER, Tracer
 from repro.session import Session
 from repro.datasets import (
     chain_graph_kb,
@@ -68,19 +69,20 @@ TIERS = {
 }
 
 
-def _materialise(make_kb, predicate, guard=None):
+def _materialise(make_kb, predicate, guard=None, tracer=None):
     """A runner timing one full bottom-up materialisation.
 
-    ``guard`` is a factory (a fresh ResourceGuard per run) so repeats never
-    share consumed budget.
+    ``guard`` and ``tracer`` are factories (a fresh ResourceGuard / Tracer
+    per run) so repeats never share consumed budget or span trees.
     """
 
     def run(executor):
         kb = make_kb()
         active = guard() if guard is not None else None
+        observing = tracer() if tracer is not None else None
         start = time.perf_counter()
         relation = SemiNaiveEngine(
-            kb, executor=executor, guard=active
+            kb, executor=executor, guard=active, tracer=observing
         ).derived_relation(predicate)
         return time.perf_counter() - start, len(relation)
 
@@ -148,6 +150,22 @@ def scenarios(sizes):
             lambda: chain_graph_kb(sizes["chain_length"]),
             "path",
             guard=lambda: ResourceGuard(deadline=600.0, max_facts=100_000_000),
+        ),
+        # The same pairing for the tracer: "null" hands every
+        # instrumentation site the shared do-nothing tracer (the disabled
+        # path must stay under 5%), "on" collects the full span tree.
+        "tracer_overhead/off": _materialise(
+            lambda: chain_graph_kb(sizes["chain_length"]), "path"
+        ),
+        "tracer_overhead/null": _materialise(
+            lambda: chain_graph_kb(sizes["chain_length"]),
+            "path",
+            tracer=lambda: NULL_TRACER,
+        ),
+        "tracer_overhead/on": _materialise(
+            lambda: chain_graph_kb(sizes["chain_length"]),
+            "path",
+            tracer=Tracer,
         ),
     }
 
@@ -262,6 +280,18 @@ def run_tier(tier: str, repeats: int | None = None) -> dict:
         on = results[f"guard_overhead/on[{executor}]"]["median_s"]
         if off > 0:
             guard_overhead[executor] = round(on / off, 3)
+    tracer_overhead: dict[str, dict[str, float]] = {}
+    for executor in EXECUTORS:
+        off = results[f"tracer_overhead/off[{executor}]"]["median_s"]
+        if off > 0:
+            tracer_overhead[executor] = {
+                "null": round(
+                    results[f"tracer_overhead/null[{executor}]"]["median_s"] / off, 3
+                ),
+                "on": round(
+                    results[f"tracer_overhead/on[{executor}]"]["median_s"] / off, 3
+                ),
+            }
     return {
         "meta": {
             "tier": tier,
@@ -272,6 +302,7 @@ def run_tier(tier: str, repeats: int | None = None) -> dict:
         "scenarios": results,
         "speedups": speedups,
         "guard_overhead": guard_overhead,
+        "tracer_overhead": tracer_overhead,
         "cache": cache_metrics(sizes, repeats),
     }
 
@@ -295,6 +326,7 @@ def append_history(report: dict, path: Path) -> None:
             "tier": report["meta"]["tier"],
             "speedups": report["speedups"],
             "guard_overhead": report["guard_overhead"],
+            "tracer_overhead": report["tracer_overhead"],
             "cache": report["cache"],
         }
     )
@@ -336,6 +368,12 @@ def main(argv=None) -> int:
     for executor, factor in sorted(report["guard_overhead"].items()):
         label = f"guard overhead [{executor}]"
         print(f"{label:40s} {factor:.3f}x ungoverned")
+    for executor, factors in sorted(report["tracer_overhead"].items()):
+        label = f"tracer overhead [{executor}]"
+        print(
+            f"{label:40s} null {factors['null']:.3f}x / "
+            f"collecting {factors['on']:.3f}x untraced"
+        )
     print()
     for name, entry in sorted(report["cache"].items()):
         speedup = entry.get("speedup")

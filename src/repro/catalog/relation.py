@@ -102,6 +102,19 @@ class Relation:
     def clear(self) -> None:
         """Remove every row."""
         self._rows.clear()
+        self._invalidate_derived()
+
+    def _invalidate_derived(self) -> None:
+        """Drop every derived structure after a wholesale row-set change.
+
+        One sequence shared by :meth:`clear` and :meth:`restore` so the two
+        can never diverge: indexes and memoized per-column statistics are
+        dropped (rebuilt lazily), the version is bumped so external caches
+        keyed on ``(relation, version)`` cannot serve stale state, and the
+        journal is reset so incremental consumers fall back to full
+        recomputation.  A missed step here is a stale-probe-column bug in
+        :meth:`lookup` — pinned by ``tests/catalog/test_relation_invalidation.py``.
+        """
         self._indexes.clear()
         self._stats.clear()
         self._version += 1
@@ -255,7 +268,4 @@ class Relation:
         caches keyed on ``(relation, version)`` cannot serve stale state.
         """
         self._rows = dict(snapshot)
-        self._indexes.clear()
-        self._stats.clear()
-        self._version += 1
-        self._reset_journal()
+        self._invalidate_derived()

@@ -6,6 +6,9 @@ Usage::
     dbk --dataset university # the paper's database
     dbk --load defs.dbk      # load a definition file
     dbk lint defs.dbk        # static analysis (CI-gradable, --json)
+    dbk explain "honor(X)"   # render the evaluation plan without running
+    dbk profile "honor(X)"   # run traced, print the per-rule hot-spot table
+    dbk retrieve --trace t.json "honor(X)"   # run and save the span tree
 
 Inside the shell, type any statement of the language::
 
@@ -15,7 +18,13 @@ Inside the shell, type any statement of the language::
     compare (describe can_ta(X, Y)) with (describe honor(X))
 
 plus the meta commands ``.catalog``, ``.rules``, ``.cache``, ``.lint``,
-``.help`` and ``.quit``.
+``.trace``, ``.help`` and ``.quit``.
+
+``dbk explain`` renders the compiled rule plans and predicted join order of
+a retrieve statement before execution; ``dbk profile`` runs it under a
+tracer and prints the per-rule hot-spot table; ``dbk retrieve`` evaluates
+one statement non-interactively, optionally writing the full span tree as
+JSON (``--trace FILE``).  See ``docs/OBSERVABILITY.md``.
 
 ``dbk cache`` (a subcommand) demonstrates the materialized view cache on a
 bundled dataset: it runs a cold query, warm repeats, and a
@@ -60,7 +69,8 @@ Statements:
   explain subject [where qualifier]          proofs for a query's answers
   compare (describe p) with (describe q)     concept comparison
 Meta:
-  .catalog  .rules  .load FILE  .lint  .cache  .cache clear  .help  .quit
+  .catalog  .rules  .load FILE  .lint  .cache  .cache clear
+  .trace on|off  .trace (last-trace summary)  .trace json  .help  .quit
 """
 
 
@@ -176,6 +186,94 @@ def run_cache_report(args: argparse.Namespace, out=None) -> int:
     return 0
 
 
+def _statement_text(parts: list[str]) -> str:
+    """One statement from the subcommand's positional words.
+
+    A bare conjunction or subject is wrapped in ``retrieve`` so
+    ``dbk explain "honor(X)"`` works without ceremony.
+    """
+    text = " ".join(parts).strip().rstrip(".")
+    first = text.split(None, 1)[0] if text else ""
+    if first not in ("retrieve", "describe", "explain", "compare"):
+        text = "retrieve " + text
+    return text
+
+
+def _query_session(args: argparse.Namespace, trace: bool = False) -> Session:
+    """A session for one observability subcommand (dataset and/or file)."""
+    session = Session(
+        _build_kb(args),
+        engine=args.engine,
+        executor=args.executor,
+        trace=trace,
+    )
+    if getattr(args, "load", None):
+        with open(args.load) as handle:
+            session.load(handle.read())
+    return session
+
+
+def run_explain(args: argparse.Namespace, out=None) -> int:
+    """``dbk explain``: render the evaluation plan without executing."""
+    from repro.obs.explain import explain_plan
+
+    out = out if out is not None else sys.stdout
+    session = _query_session(args)
+    explanation = explain_plan(
+        session.kb,
+        _statement_text(args.query),
+        engine=args.engine,
+        executor=args.executor,
+    )
+    if args.json:
+        print(json.dumps(explanation.as_dict(), indent=2, sort_keys=True), file=out)
+    else:
+        print(explanation.format(), file=out)
+    return 0
+
+
+def run_profile(args: argparse.Namespace, out=None) -> int:
+    """``dbk profile``: run one statement traced, print the hot-spot table."""
+    from repro.obs.profile import profile_trace
+
+    out = out if out is not None else sys.stdout
+    session = _query_session(args, trace=True)
+    session.query(_statement_text(args.query))
+    report = profile_trace(session.last_trace)
+    if args.json:
+        print(json.dumps(report.as_dict(args.top), indent=2, sort_keys=True), file=out)
+    else:
+        print(report.format(args.top), file=out)
+    return 0
+
+
+def run_retrieve(args: argparse.Namespace, out=None) -> int:
+    """``dbk retrieve``: evaluate one statement, optionally saving its trace."""
+    out = out if out is not None else sys.stdout
+    trace_wanted = bool(args.trace) or args.json
+    session = _query_session(args, trace=trace_wanted)
+    result = session.query(_statement_text(args.query))
+    root = session.last_trace
+    if args.json:
+        payload = {
+            "statement": _statement_text(args.query),
+            "rows": len(result) if hasattr(result, "__len__") else 1,
+            "trace": root.as_dict(timings=True) if root is not None else None,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+    else:
+        print(render(result), file=out)
+        if root is not None:
+            totals = root.totals()
+            summary = ", ".join(f"{name}={value}" for name, value in totals.items())
+            print(f"[trace: {summary or 'no counters'}]", file=out)
+    if args.trace:
+        with open(args.trace, "w") as handle:
+            handle.write(root.to_json(timings=True) + "\n")
+        print(f"[trace written to {args.trace}]", file=out)
+    return 0
+
+
 def run_lint(args: argparse.Namespace, out=None, err=None) -> int:
     """``dbk lint``: static analysis over definition files (CI-gradable)."""
     from repro.analysis.analyzer import analyze_source
@@ -266,6 +364,30 @@ def run_repl(session: Session, stream=None, out=None) -> None:
                 session.cache.clear()
                 emit("cache cleared")
             continue
+        if line == ".trace on":
+            if session.tracer is None:
+                from repro.obs.trace import Tracer
+
+                session.tracer = Tracer()
+            emit("tracing on")
+            continue
+        if line == ".trace off":
+            session.tracer = None
+            emit("tracing off")
+            continue
+        if line in (".trace", ".trace json"):
+            root = session.last_trace
+            if session.tracer is None:
+                emit("tracing off (.trace on to enable)")
+            elif root is None:
+                emit("tracing on; no traced query yet")
+            elif line == ".trace json":
+                emit(root.to_json(timings=True))
+            else:
+                from repro.obs.profile import profile_trace
+
+                emit(profile_trace(root).format())
+            continue
         if line.startswith(".load "):
             path = line[len(".load "):].strip()
             try:
@@ -340,6 +462,60 @@ def main(argv: list[str] | None = None) -> int:
             help="suppress a diagnostic code, e.g. KB503 (repeatable)",
         )
         return run_lint(lint_parser.parse_args(argv[1:]))
+    if argv and argv[0] in ("explain", "profile", "retrieve"):
+        command = argv[0]
+        descriptions = {
+            "explain": "render the evaluation plan of a retrieve statement "
+            "without executing it",
+            "profile": "run one statement under a tracer and print the "
+            "per-rule hot-spot table",
+            "retrieve": "evaluate one statement non-interactively, optionally "
+            "writing the span tree as JSON",
+        }
+        obs_parser = argparse.ArgumentParser(
+            prog=f"dbk {command}", description=descriptions[command]
+        )
+        obs_parser.add_argument(
+            "query", nargs="+", metavar="STATEMENT",
+            help="statement text (a bare subject/conjunction is wrapped in "
+            "'retrieve')",
+        )
+        obs_parser.add_argument(
+            "--dataset", choices=_DATASETS, help="start from a bundled database"
+        )
+        obs_parser.add_argument(
+            "--load", metavar="FILE", help="load a definition file first"
+        )
+        obs_parser.add_argument(
+            "--engine", choices=("seminaive", "topdown", "magic"),
+            default="seminaive", help="evaluation engine",
+        )
+        obs_parser.add_argument(
+            "--executor", choices=("batch", "nested"), default="batch",
+            help="bottom-up execution model",
+        )
+        obs_parser.add_argument(
+            "--json", action="store_true", help="emit machine-readable JSON"
+        )
+        if command == "profile":
+            obs_parser.add_argument(
+                "--top", type=int, default=10,
+                help="rows of the hot-spot table to print",
+            )
+        if command == "retrieve":
+            obs_parser.add_argument(
+                "--trace", metavar="FILE",
+                help="write the full span tree (with timings) to FILE",
+            )
+        parsed = obs_parser.parse_args(argv[1:])
+        runner = {
+            "explain": run_explain, "profile": run_profile, "retrieve": run_retrieve,
+        }[command]
+        try:
+            return runner(parsed)
+        except (OSError, ReproError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--dataset", choices=_DATASETS, help="start from a bundled database")
     parser.add_argument("--load", metavar="FILE", help="load a definition file")

@@ -41,6 +41,7 @@ def run_algorithm1(
     config: SearchConfig | None = None,
     check_precondition: bool = True,
     guard=None,
+    tracer=None,
 ) -> tuple[list[RawAnswer], SearchStatistics]:
     """Run Algorithm 1; returns raw answers plus search statistics.
 
@@ -56,6 +57,8 @@ def run_algorithm1(
             "predicate; use Algorithm 2"
         )
     program = untransformed_program(kb.rules())
-    search = DerivationSearch(program, config or algorithm1_config(), guard=guard)
+    search = DerivationSearch(
+        program, config or algorithm1_config(), guard=guard, tracer=tracer
+    )
     answers = search.describe(subject, tuple(hypothesis))
     return answers, search.statistics

@@ -40,6 +40,7 @@ def run_algorithm2(
     style: str = "standard",
     program: TransformedProgram | None = None,
     guard=None,
+    tracer=None,
 ) -> tuple[list[RawAnswer], SearchStatistics]:
     """Run Algorithm 2; returns raw answers plus search statistics.
 
@@ -53,6 +54,8 @@ def run_algorithm2(
     """
     if program is None:
         program = transform_knowledge_base(kb, style=style)
-    search = DerivationSearch(program, config or algorithm2_config(), guard=guard)
+    search = DerivationSearch(
+        program, config or algorithm2_config(), guard=guard, tracer=tracer
+    )
     answers = search.describe(subject, tuple(hypothesis))
     return answers, search.statistics

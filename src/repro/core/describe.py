@@ -41,6 +41,7 @@ def describe(
     style: str = "standard",
     config: SearchConfig | None = None,
     guard: ResourceGuard | None = None,
+    tracer=None,
 ) -> DescribeResult:
     """Evaluate a knowledge query ``describe subject where hypothesis``.
 
@@ -91,18 +92,23 @@ def describe(
             "algorithm2" if kb.depends_on_recursion(subject.predicate) else "algorithm1"
         )
 
+    from repro.obs.trace import traced_span
+
     diagnostics = None
     try:
-        if algorithm == "algorithm1":
-            raw_answers, statistics = run_algorithm1(
-                kb, subject, hypothesis, config=config or algorithm1_config(),
-                guard=guard,
-            )
-        else:
-            raw_answers, statistics = run_algorithm2(
-                kb, subject, hypothesis, config=config or algorithm2_config(),
-                style=style, guard=guard,
-            )
+        with traced_span(
+            tracer, "describe", subject=str(subject), algorithm=algorithm
+        ):
+            if algorithm == "algorithm1":
+                raw_answers, statistics = run_algorithm1(
+                    kb, subject, hypothesis, config=config or algorithm1_config(),
+                    guard=guard, tracer=tracer,
+                )
+            else:
+                raw_answers, statistics = run_algorithm2(
+                    kb, subject, hypothesis, config=config or algorithm2_config(),
+                    style=style, guard=guard, tracer=tracer,
+                )
     except ResourceExhausted as error:
         # Degrade: every raw answer found before the trip is a soundly
         # derived rule, so post-process the partial set as usual and tag

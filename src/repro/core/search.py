@@ -134,10 +134,12 @@ class DerivationSearch:
         program: TransformedProgram,
         config: SearchConfig | None = None,
         guard: ResourceGuard | None = None,
+        tracer=None,
     ) -> None:
         self._program = program
         self._config = config or SearchConfig()
         self._guard = guard
+        self._tracer = tracer
         self._rules_by_pred: dict[str, list[Rule]] = {}
         for rule in program.rules:
             self._rules_by_pred.setdefault(rule.head.predicate, []).append(rule)
@@ -166,6 +168,8 @@ class DerivationSearch:
 
     def describe(self, subject: Atom, hypothesis: Sequence[Atom]) -> list[RawAnswer]:
         """All raw answers for ``describe subject where hypothesis``."""
+        from repro.obs.trace import traced_span
+
         self._mode = "describe"
         hyp_positive = [
             (index, atom)
@@ -174,15 +178,31 @@ class DerivationSearch:
         ]
         self._hypothesis = hyp_positive
         answers: list[RawAnswer] = []
-        try:
-            self._describe_into(subject, hyp_positive, answers)
-        except ResourceExhausted as error:
-            # The answers accumulated before the budget tripped are sound;
-            # degrade-mode callers post-process them as a partial result.
-            error.answers_so_far = list(answers)
-            error.statistics = self.statistics
-            raise
-        return self._finalize(answers)
+        with traced_span(self._tracer, "search", subject=str(subject)):
+            try:
+                self._describe_into(subject, hyp_positive, answers)
+            except ResourceExhausted as error:
+                # The answers accumulated before the budget tripped are sound;
+                # degrade-mode callers post-process them as a partial result.
+                error.answers_so_far = list(answers)
+                error.statistics = self.statistics
+                self._record_counters()
+                raise
+            finalized = self._finalize(answers)
+            self._record_counters()
+            return finalized
+
+    def _record_counters(self) -> None:
+        """Mirror the search statistics onto the current trace span."""
+        tracer = self._tracer
+        if tracer is None:
+            return
+        stats = self.statistics
+        tracer.count("nodes_expanded", stats.rule_applications)
+        tracer.count("nodes_cut", stats.typing_rejections)
+        tracer.count("search_steps", stats.steps)
+        tracer.count("identifications", stats.identifications)
+        tracer.count("raw_answers", stats.raw_answers)
 
     def _describe_into(
         self,

@@ -99,6 +99,7 @@ def evaluate_conjunction(
     executor: str = "batch",
     guard: ResourceGuard | None = None,
     cache: "ViewCache | None" = None,
+    tracer=None,
 ) -> Iterator[Substitution]:
     """Enumerate substitutions satisfying a conjunction over the database.
 
@@ -127,7 +128,8 @@ def evaluate_conjunction(
     _check_engine(engine)
     check_executor(executor)
     iterator = _evaluate_conjunction(
-        kb, conjuncts, engine, max_derived_facts, negated, executor, guard, cache
+        kb, conjuncts, engine, max_derived_facts, negated, executor, guard, cache,
+        tracer,
     )
     if guard is None or guard.mode != "degrade":
         yield from iterator
@@ -147,6 +149,7 @@ def _evaluate_conjunction(
     executor: str,
     guard: ResourceGuard | None,
     cache: "ViewCache | None" = None,
+    tracer=None,
 ) -> Iterator[Substitution]:
     if engine == "magic":
         from repro.engine.magic import magic_conjunction
@@ -157,11 +160,14 @@ def _evaluate_conjunction(
                 "topdown for negated qualifiers"
             )
         yield from magic_conjunction(
-            kb, conjuncts, max_derived_facts=max_derived_facts, guard=guard
+            kb, conjuncts, max_derived_facts=max_derived_facts, guard=guard,
+            tracer=tracer,
         )
         return
     if engine == "topdown":
-        evaluator = TopDownEngine(kb, max_table_rows=max_derived_facts, guard=guard)
+        evaluator = TopDownEngine(
+            kb, max_table_rows=max_derived_facts, guard=guard, tracer=tracer
+        )
 
         def absent_topdown(theta: Substitution) -> bool:
             for atom in negated:
@@ -195,12 +201,15 @@ def _evaluate_conjunction(
         cache
         if use_cache
         else SemiNaiveEngine(
-            kb, max_derived_facts=max_derived_facts, executor=executor, guard=guard
+            kb, max_derived_facts=max_derived_facts, executor=executor, guard=guard,
+            tracer=tracer,
         )
     )
     try:
         if use_cache:
-            derived = cache.evaluate(wanted, executor=executor, guard=guard)
+            derived = cache.evaluate(
+                wanted, executor=executor, guard=guard, tracer=tracer
+            )
         else:
             derived = materializer.evaluate(wanted)
     except ResourceExhausted as error:
@@ -228,7 +237,7 @@ def _evaluate_conjunction(
         estimate = relation_cost_estimator(relation_view)
         plan = compile_conjunction(conjuncts, negated, estimate=estimate)
         schema = plan.schema
-        for binding in plan.execute(relation_view, guard):
+        for binding in plan.execute(relation_view, guard, tracer):
             yield Substitution(dict(zip(schema, binding)))
         return
 
@@ -272,6 +281,7 @@ def retrieve(
     executor: str = "batch",
     guard: ResourceGuard | None = None,
     cache: "ViewCache | None" = None,
+    tracer=None,
 ) -> RetrieveResult:
     """Evaluate a data query ``retrieve subject where qualifier``.
 
@@ -315,28 +325,36 @@ def retrieve(
 
     seen: set[tuple[Constant, ...]] = set()
     rows: list[tuple[Constant, ...]] = []
-    for theta in evaluate_conjunction(
-        kb,
-        conjunction,
-        engine=engine,
-        max_derived_facts=max_derived_facts,
-        negated=tuple(negated_qualifier),
-        executor=executor,
-        guard=guard,
-        cache=cache,
+    from repro.obs.trace import traced_span
+
+    with traced_span(
+        tracer, "retrieve", subject=str(subject), engine=engine, executor=executor
     ):
-        values = []
-        for variable in free_vars:
-            term = theta.apply_term(variable)
-            if not is_constant(term):
-                raise SafetyError(
-                    f"free variable {variable} is not bound by the query"
-                )
-            values.append(term)
-        row = tuple(values)
-        if row not in seen:
-            seen.add(row)
-            rows.append(row)
+        for theta in evaluate_conjunction(
+            kb,
+            conjunction,
+            engine=engine,
+            max_derived_facts=max_derived_facts,
+            negated=tuple(negated_qualifier),
+            executor=executor,
+            guard=guard,
+            cache=cache,
+            tracer=tracer,
+        ):
+            values = []
+            for variable in free_vars:
+                term = theta.apply_term(variable)
+                if not is_constant(term):
+                    raise SafetyError(
+                        f"free variable {variable} is not bound by the query"
+                    )
+                values.append(term)
+            row = tuple(values)
+            if row not in seen:
+                seen.add(row)
+                rows.append(row)
+        if tracer is not None:
+            tracer.count("answer_rows", len(rows))
     diagnostics = guard.diagnostics() if guard is not None else None
     return RetrieveResult(
         subject=subject,

@@ -178,20 +178,29 @@ def magic_conjunction(
     conjunction: Sequence[Atom],
     max_derived_facts: int | None = None,
     guard=None,
+    tracer=None,
 ) -> Iterator[Substitution]:
     """Enumerate solutions of a conjunction via magic-sets evaluation.
 
     *guard* (a :class:`~repro.engine.guard.ResourceGuard`) governs the inner
     bottom-up evaluation; in degrade mode a tripped budget yields the goal
     rows derived so far (a sound under-approximation) instead of raising.
+    *tracer* records a ``magic.rewrite`` event plus the inner engine's spans.
     """
     from repro.errors import ResourceExhausted
     from repro.engine.guard import degrade_catch
     from repro.engine.joins import bind_row
 
     program = magic_rewrite(kb, conjunction)
+    if tracer is not None:
+        tracer.event(
+            "magic.rewrite",
+            adorned_predicates=program.adorned_predicates,
+            magic_rules=program.magic_rules,
+            goal=str(program.goal),
+        )
     engine = SemiNaiveEngine(
-        program.kb, max_derived_facts=max_derived_facts, guard=guard
+        program.kb, max_derived_facts=max_derived_facts, guard=guard, tracer=tracer
     )
     try:
         relation = engine.derived_relation(program.goal.predicate)

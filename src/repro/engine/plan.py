@@ -327,21 +327,33 @@ class ConjunctionPlan:
     ``schema`` is the ordered tuple of variables the output batch binds,
     one slot per variable.  :meth:`execute` returns the satisfying binding
     tuples under the relations currently visible through the view.
+    ``described`` carries one human-readable line per step, recorded at
+    compile time (when the slot→variable mapping is known) for ``explain``.
     """
 
-    __slots__ = ("schema", "steps")
+    __slots__ = ("schema", "steps", "described")
 
-    def __init__(self, schema: tuple[Variable, ...], steps: list) -> None:
+    def __init__(
+        self,
+        schema: tuple[Variable, ...],
+        steps: list,
+        described: list[str] | None = None,
+    ) -> None:
         self.schema = schema
         self.steps = steps
+        self.described = described or []
 
-    def execute(self, relations: RelationView, guard=None) -> Batch:
+    def execute(self, relations: RelationView, guard=None, tracer=None) -> Batch:
         """Run the plan; *guard* (a :class:`~repro.engine.guard.ResourceGuard`)
-        is checkpointed at every step boundary, charged with the batch size."""
+        is checkpointed at every step boundary, charged with the batch size.
+        *tracer* (a :class:`~repro.obs.trace.Tracer`) accumulates the same
+        per-step batch sizes as the ``join_probes`` counter."""
         batch: Batch = [()]
         for step in self.steps:
             if guard is not None:
                 guard.tick(len(batch))
+            if tracer is not None:
+                tracer.count("join_probes", len(batch))
             batch = step.run(batch, relations)
             if not batch:
                 return []
@@ -363,8 +375,8 @@ class RulePlan:
         self.plan = plan
         self.head_template = head_template
 
-    def execute(self, relations: RelationView, guard=None) -> list[Row]:
-        batch = self.plan.execute(relations, guard)
+    def execute(self, relations: RelationView, guard=None, tracer=None) -> list[Row]:
+        batch = self.plan.execute(relations, guard, tracer)
         if not batch:
             return []
         template = self.head_template
@@ -393,6 +405,7 @@ def compile_conjunction(
     ordered = order_conjuncts(conjuncts, estimate=estimate)
     slots: dict[Variable, int] = {}
     steps: list = []
+    described: list[str] = []
 
     def operand(term: object) -> tuple[int | None, Constant | None]:
         if is_constant(term):
@@ -409,6 +422,7 @@ def compile_conjunction(
                 target = right if left_bound else left
                 source_slot, source_const = operand(source)
                 steps.append(_Bind(source_slot, source_const))
+                described.append(f"bind {target} = {source}")
                 slots[target] = len(slots)  # type: ignore[index]
             else:
                 left_slot, left_const = operand(left)
@@ -416,6 +430,7 @@ def compile_conjunction(
                 steps.append(
                     _Compare(atom.predicate, left_slot, left_const, right_slot, right_const)
                 )
+                described.append(f"filter {atom}")
             continue
         key_slots: list[int] = []
         key_cols: list[int] = []
@@ -442,6 +457,28 @@ def compile_conjunction(
                 const_checks, dup_checks, out_cols,
             )
         )
+        join_vars = [
+            variable for variable, slot in slots.items() if slot in key_slots
+        ]
+        notes: list[str] = []
+        if join_vars:
+            notes.append("join on " + ", ".join(str(v) for v in join_vars))
+        elif slots:
+            notes.append("cartesian")
+        else:
+            notes.append("scan")
+        if const_checks:
+            notes.append(
+                "filter "
+                + ", ".join(f"col{col}={value}" for col, value in const_checks)
+            )
+        if out_vars:
+            notes.append("binds " + ", ".join(str(v) for v in out_vars))
+        if estimate is not None:
+            expected = estimate(atom, set(slots))
+            if expected is not None:
+                notes.append(f"est~{expected:.0f} rows")
+        described.append(f"hash_join {atom} [{'; '.join(notes)}]")
         for variable in out_vars:
             slots[variable] = len(slots)
 
@@ -463,9 +500,10 @@ def compile_conjunction(
         steps.append(
             _AntiJoin(atom.predicate, atom.arity, key_slots, key_cols, const_checks)
         )
+        described.append(f"anti_join not {atom}")
 
     schema = tuple(sorted(slots, key=slots.__getitem__))
-    return ConjunctionPlan(schema, steps)
+    return ConjunctionPlan(schema, steps, described)
 
 
 def compile_rule(rule: Rule, estimate: CostEstimator | None = None) -> RulePlan:

@@ -31,6 +31,7 @@ from repro.engine.guard import ResourceGuard
 from repro.engine.joins import bind_row, join_conjunction, order_conjuncts, relation_cost_estimator
 from repro.engine.plan import RulePlan, check_executor, compile_rule
 from repro.engine.safety import check_rule_safety
+from repro.obs.trace import traced_span
 from repro.logic.atoms import Atom
 from repro.logic.clauses import Rule
 from repro.logic.substitution import Substitution
@@ -57,6 +58,10 @@ class SemiNaiveEngine:
     guard:
         A :class:`~repro.engine.guard.ResourceGuard` governing the whole
         evaluation (deadline, fact/step/iteration budgets, cancellation).
+    tracer:
+        A :class:`~repro.obs.trace.Tracer` recording stratum / iteration /
+        rule spans with ``facts_derived``, ``delta_rows`` and ``join_probes``
+        counters.  ``None`` (the default) keeps the hot path untraced.
     """
 
     def __init__(
@@ -65,6 +70,7 @@ class SemiNaiveEngine:
         max_derived_facts: int | None = None,
         executor: str = "batch",
         guard: ResourceGuard | None = None,
+        tracer=None,
     ) -> None:
         check_executor(executor)
         if max_derived_facts is not None and max_derived_facts < 1:
@@ -76,6 +82,7 @@ class SemiNaiveEngine:
             guard = ResourceGuard(max_facts=max_derived_facts)
         self._kb = kb
         self._guard = guard
+        self._tracer = tracer
         self._executor = executor
         self._derived: dict[str, Relation] = {}
         self._delta: dict[str, Relation] = {}
@@ -107,8 +114,12 @@ class SemiNaiveEngine:
             for stratum in graph.evaluation_strata(set(kb.idb_predicates())):
                 members = [p for p in stratum if p in todo]
                 if members:
-                    self._evaluate_stratum(set(stratum) & relevant)
-                    self._evaluated.update(set(stratum) & relevant)
+                    evaluated = set(stratum) & relevant
+                    with traced_span(
+                        self._tracer, "stratum", predicates=sorted(evaluated)
+                    ):
+                        self._evaluate_stratum(evaluated)
+                    self._evaluated.update(evaluated)
         return {p: self._relation(p) for p in wanted}
 
     def derived_relation(self, predicate: str) -> Relation:
@@ -205,25 +216,30 @@ class SemiNaiveEngine:
         the whole body runs as cached-plan hash joins.
         """
         guard = self._guard
+        tracer = self._tracer
         if self._executor == "batch":
             plan = self._plans.get(plan_key)
             if plan is None:
                 estimate = relation_cost_estimator(self._relation_view)
                 plan = compile_rule(rule, estimate=estimate)
                 self._plans[plan_key] = plan
-            return plan.execute(self._relation_view, guard)
+            return plan.execute(self._relation_view, guard, tracer)
         ordered = self._orders.get(plan_key)
         if ordered is None:
             estimate = relation_cost_estimator(self._relation_view)
             ordered = order_conjuncts(rule.body, estimate=estimate)
             self._orders[plan_key] = ordered
         rows: list[Row] = []
+        solutions = 0
         for theta in join_conjunction(self._resolver, ordered, reorder=False):
+            solutions += 1
             if guard is not None:
                 guard.tick()
             if rule.negated and not self._negatives_absent(rule, theta):
                 continue
             rows.append(self._head_row(rule, theta))
+        if tracer is not None and solutions:
+            tracer.count("join_probes", solutions)
         return rows
 
     def _evaluate_stratum(self, stratum: set[str]) -> None:
@@ -239,16 +255,20 @@ class SemiNaiveEngine:
         # Rows are materialised before insertion: a rule like a permutation
         # rule reads the very relation its head writes.
         guard = self._guard
+        tracer = self._tracer
         delta_rows: dict[str, set[Row]] = {p: set() for p in stratum}
         for rule_index, rule in enumerate(rules):
-            relation = self._relation(rule.head.predicate)
-            inserted = 0
-            for row in self._fire_rule(rule, (rule_index, -1)):
-                if relation.insert(row):
-                    delta_rows[rule.head.predicate].add(row)
-                    inserted += 1
-            if guard is not None and inserted:
-                guard.count_facts(inserted)
+            with traced_span(tracer, "rule", rule=str(rule), phase="initial"):
+                relation = self._relation(rule.head.predicate)
+                inserted = 0
+                for row in self._fire_rule(rule, (rule_index, -1)):
+                    if relation.insert(row):
+                        delta_rows[rule.head.predicate].add(row)
+                        inserted += 1
+                if guard is not None and inserted:
+                    guard.count_facts(inserted)
+                if tracer is not None and inserted:
+                    tracer.count("facts_derived", inserted)
 
         recursive_rules = [
             (index, rule, [i for i, b in enumerate(rule.body) if b.predicate in stratum])
@@ -268,21 +288,39 @@ class SemiNaiveEngine:
                 body[position] = Atom(_DELTA_PREFIX + original.predicate, original.args)
                 rewritten_rules.append((rule_index, position, rule.with_body(body)))
 
+        iteration = 0
         while any(delta_rows.values()):
+            iteration += 1
             if guard is not None:
                 guard.iteration()
-            self._delta = {
-                p: Relation(self._relation(p).arity, rows) for p, rows in delta_rows.items()
-            }
-            new_rows: dict[str, set[Row]] = {p: set() for p in stratum}
-            for rule_index, position, rewritten in rewritten_rules:
-                relation = self._relation(rewritten.head.predicate)
-                for row in self._fire_rule(rewritten, (rule_index, position)):
-                    if row not in relation:
-                        new_rows[rewritten.head.predicate].add(row)
-            for predicate, rows in new_rows.items():
-                self._relation(predicate).insert_many(rows)
-                if guard is not None and rows:
-                    guard.count_facts(len(rows))
-            delta_rows = new_rows
-            self._delta = {}
+            with traced_span(tracer, "iteration", index=iteration):
+                if tracer is not None:
+                    tracer.count(
+                        "delta_rows", sum(len(rows) for rows in delta_rows.values())
+                    )
+                self._delta = {
+                    p: Relation(self._relation(p).arity, rows)
+                    for p, rows in delta_rows.items()
+                }
+                new_rows: dict[str, set[Row]] = {p: set() for p in stratum}
+                for rule_index, position, rewritten in rewritten_rules:
+                    with traced_span(
+                        tracer,
+                        "rule",
+                        rule=str(rules[rule_index]),
+                        delta_position=position,
+                    ):
+                        target = new_rows[rewritten.head.predicate]
+                        before = len(target)
+                        relation = self._relation(rewritten.head.predicate)
+                        for row in self._fire_rule(rewritten, (rule_index, position)):
+                            if row not in relation:
+                                target.add(row)
+                        if tracer is not None and len(target) != before:
+                            tracer.count("facts_derived", len(target) - before)
+                for predicate, rows in new_rows.items():
+                    self._relation(predicate).insert_many(rows)
+                    if guard is not None and rows:
+                        guard.count_facts(len(rows))
+                delta_rows = new_rows
+                self._delta = {}

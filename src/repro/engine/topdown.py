@@ -70,6 +70,7 @@ class TopDownEngine:
         kb: KnowledgeBase,
         max_table_rows: int | None = None,
         guard: ResourceGuard | None = None,
+        tracer=None,
     ) -> None:
         if max_table_rows is not None and max_table_rows < 1:
             raise ValueError(
@@ -85,6 +86,7 @@ class TopDownEngine:
         if guard is None and max_table_rows is not None:
             guard = ResourceGuard(max_facts=max_table_rows)
         self._guard = guard
+        self._tracer = tracer
         self._tables: dict[CallKey, set[Row]] = {}
         self._renamer = VariableRenamer()
         self._dirty = False
@@ -115,17 +117,27 @@ class TopDownEngine:
     # -- internals ---------------------------------------------------------------
 
     def _saturate(self, conjuncts: Sequence[Atom]) -> None:
+        from repro.obs.trace import traced_span
+
+        passes = 0
         while True:
+            passes += 1
             if self._guard is not None:
                 self._guard.iteration()
-            self._dirty = False
-            before_keys = len(self._tables)
-            for _ in join_conjunction(self._resolver, conjuncts):
-                pass
-            for key in list(self._tables):
-                self._recompute(key)
-            if not self._dirty and len(self._tables) == before_keys:
-                return
+            with traced_span(self._tracer, "iteration", index=passes, engine="topdown"):
+                self._dirty = False
+                before_keys = len(self._tables)
+                for _ in join_conjunction(self._resolver, conjuncts):
+                    pass
+                for key in list(self._tables):
+                    self._recompute(key)
+                if self._tracer is not None:
+                    self._tracer.annotate(
+                        call_patterns=self.table_count(),
+                        answers_tabled=self.answer_count(),
+                    )
+                if not self._dirty and len(self._tables) == before_keys:
+                    return
 
     def _resolver(self, atom: Atom, theta: Substitution) -> Iterator[Substitution]:
         predicate = atom.predicate
@@ -162,7 +174,8 @@ class TopDownEngine:
         """
         if self._negation_engine is None:
             self._negation_engine = TopDownEngine(
-                self._kb, self._max_rows, guard=self._shared_guard
+                self._kb, self._max_rows, guard=self._shared_guard,
+                tracer=self._tracer,
             )
         return next(iter(self._negation_engine.query((atom,))), None) is not None
 
@@ -218,3 +231,5 @@ class TopDownEngine:
                     f"{self.table_count()} call patterns)"
                 ),
             )
+        if self._tracer is not None and added:
+            self._tracer.count("facts_derived", added)

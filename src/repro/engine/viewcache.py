@@ -219,6 +219,7 @@ class ViewCache:
         predicates: Sequence[str],
         executor: str = "batch",
         guard: ResourceGuard | None = None,
+        tracer=None,
     ) -> dict[str, Relation]:
         """Materialised relations for the requested IDB predicates.
 
@@ -228,7 +229,11 @@ class ViewCache:
         complete (untripped) computations are stored; a
         :class:`~repro.errors.ResourceExhausted` trip propagates with the
         cache unchanged (stale entries dropped, nothing half-written).
+        *tracer* records one ``cache.probe`` span per call whose ``outcome``
+        attribute mirrors the :class:`CacheStats` counter the call bumps.
         """
+        from repro.obs.trace import traced_span
+
         kb = self._kb
         self._inflight = None  # drop partials from any previous trip
         if guard is not None:
@@ -243,24 +248,35 @@ class ViewCache:
         for predicate in wanted:
             closure.update(q for q in graph.dependencies(predicate) if kb.is_idb(q))
         members = sorted(closure)
-        profiles = {p: self._dependency_profile(p) for p in members}
+        with traced_span(tracer, "cache.probe", predicates=members):
+            profiles = {p: self._dependency_profile(p) for p in members}
 
-        if all(self._is_fresh(p, profiles[p]) for p in members):
-            self._clock += 1
-            for predicate in members:
-                self._views[predicate].tick = self._clock
-            self.stats.hits += 1
+            if all(self._is_fresh(p, profiles[p]) for p in members):
+                self._clock += 1
+                for predicate in members:
+                    self._views[predicate].tick = self._clock
+                self.stats.hits += 1
+                if tracer is not None:
+                    tracer.annotate(outcome="hit")
+                    tracer.count("cache_hits")
+                return {p: self._views[p].relation for p in wanted}
+
+            if self._refresh_incrementally(members, profiles, guard, tracer):
+                self.stats.incremental_refreshes += 1
+                if tracer is not None:
+                    tracer.annotate(outcome="incremental")
+                    tracer.count("cache_incremental_refreshes")
+            else:
+                with traced_span(tracer, "cache.recompute", predicates=members):
+                    self._recompute(members, profiles, executor, guard, tracer)
+                self.stats.misses += 1
+                self.stats.full_refreshes += 1
+                if tracer is not None:
+                    tracer.annotate(outcome="recompute")
+                    tracer.count("cache_misses")
+            self._evict()
+            self._update_gauges()
             return {p: self._views[p].relation for p in wanted}
-
-        if self._refresh_incrementally(members, profiles, guard):
-            self.stats.incremental_refreshes += 1
-        else:
-            self._recompute(members, profiles, executor, guard)
-            self.stats.misses += 1
-            self.stats.full_refreshes += 1
-        self._evict()
-        self._update_gauges()
-        return {p: self._views[p].relation for p in wanted}
 
     def partial_relation(self, predicate: str) -> Relation:
         """A sound (possibly incomplete) relation after a budget trip.
@@ -389,6 +405,7 @@ class ViewCache:
         members: list[str],
         profiles: dict[str, tuple[dict[str, int], frozenset[str]]],
         guard: ResourceGuard | None,
+        tracer=None,
     ) -> bool:
         """Repair warm-but-stale views in place; ``True`` on success.
 
@@ -436,12 +453,20 @@ class ViewCache:
                 removed[name] = remove
 
         if total:
+            from repro.obs.trace import traced_span
+
             derived = {p: entries[p].relation for p in members}
             maintainer = MaterializedDatabase.for_views(
                 kb, derived, set(members), guard=guard
             )
             try:
-                maintainer.apply_edb_delta(added, removed)
+                with traced_span(
+                    tracer,
+                    "cache.repair",
+                    rows_added=sum(len(v) for v in added.values()),
+                    rows_removed=sum(len(v) for v in removed.values()),
+                ):
+                    maintainer.apply_edb_delta(added, removed)
             except BaseException:
                 # Never serve a half-refreshed view: the touched entries are
                 # gone before the failure propagates.
@@ -463,6 +488,7 @@ class ViewCache:
         profiles: dict[str, tuple[dict[str, int], frozenset[str]]],
         executor: str,
         guard: ResourceGuard | None,
+        tracer=None,
     ) -> None:
         """Full semi-naive materialisation of the closure; stores on success."""
         for predicate in members:
@@ -471,7 +497,9 @@ class ViewCache:
             ):
                 del self._views[predicate]
                 self.stats.invalidations += 1
-        engine = SemiNaiveEngine(self._kb, executor=executor, guard=guard)
+        engine = SemiNaiveEngine(
+            self._kb, executor=executor, guard=guard, tracer=tracer
+        )
         # On a ResourceExhausted trip ``_inflight`` deliberately stays set:
         # the degrade path reads sound partial fixpoints from it via
         # :meth:`partial_relation`.  The next probe overwrites it.

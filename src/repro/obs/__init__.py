@@ -1,0 +1,30 @@
+"""Observability: structured tracing, metrics, EXPLAIN, and profiling.
+
+The subsystem has three layers, each usable on its own:
+
+* :mod:`repro.obs.trace` — :class:`Tracer` / :class:`NullTracer` span
+  collection, threaded through every engine;
+* :mod:`repro.obs.explain` — pre-execution plan rendering from the same
+  compiled plans the engines cache;
+* :mod:`repro.obs.profile` — post-hoc trace summarisation into a per-rule
+  hot-spot table.
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and counter glossary.
+"""
+
+from repro.obs.explain import QueryExplanation, explain_plan
+from repro.obs.profile import ProfileReport, RuleHotSpot, profile_trace
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer, traced_span
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "ProfileReport",
+    "QueryExplanation",
+    "RuleHotSpot",
+    "Span",
+    "Tracer",
+    "explain_plan",
+    "profile_trace",
+    "traced_span",
+]

@@ -1,0 +1,115 @@
+"""Trace summarisation: the per-rule hot-spot table.
+
+``profile_trace`` folds one span tree (see :mod:`repro.obs.trace`) into a
+:class:`ProfileReport`: every ``rule`` span aggregated by rule text —
+firings, cumulative time, facts derived, join probes — sorted hottest
+first, plus the whole-tree counter totals and a one-line cache summary.
+This is the post-hoc counterpart of :func:`~repro.obs.explain.explain_plan`:
+explain predicts, profile measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.trace import Span
+
+
+@dataclass
+class RuleHotSpot:
+    """Aggregate cost of one rule across every firing in the trace."""
+
+    rule: str
+    firings: int = 0
+    time_s: float = 0.0
+    facts_derived: int = 0
+    join_probes: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "firings": self.firings,
+            "time_ms": round(self.time_s * 1000, 3),
+            "facts_derived": self.facts_derived,
+            "join_probes": self.join_probes,
+        }
+
+
+@dataclass
+class ProfileReport:
+    """One trace, summarised: hottest rules first, then the totals."""
+
+    statement: str
+    duration_s: float
+    hotspots: list[RuleHotSpot]
+    totals: dict[str, int | float] = field(default_factory=dict)
+    iterations: int = 0
+
+    def as_dict(self, top: int | None = None) -> dict:
+        spots = self.hotspots[:top] if top else self.hotspots
+        return {
+            "statement": self.statement,
+            "duration_ms": round(self.duration_s * 1000, 3),
+            "iterations": self.iterations,
+            "hotspots": [spot.as_dict() for spot in spots],
+            "totals": dict(self.totals),
+        }
+
+    def format(self, top: int = 10) -> str:
+        lines = [
+            f"profile {self.statement}",
+            f"total: {self.duration_s * 1000:.2f} ms"
+            + (f", {self.iterations} delta iterations" if self.iterations else ""),
+        ]
+        if self.hotspots:
+            width = max(len("rule"), max(len(s.rule) for s in self.hotspots[:top]))
+            header = (
+                f"{'rule':<{width}}  {'firings':>7}  {'time_ms':>9}  "
+                f"{'facts':>7}  {'probes':>8}"
+            )
+            lines.append(header)
+            lines.append("-" * len(header))
+            for spot in self.hotspots[:top]:
+                lines.append(
+                    f"{spot.rule:<{width}}  {spot.firings:>7}  "
+                    f"{spot.time_s * 1000:>9.2f}  {spot.facts_derived:>7}  "
+                    f"{spot.join_probes:>8}"
+                )
+            dropped = len(self.hotspots) - top
+            if dropped > 0:
+                lines.append(f"... and {dropped} more rules")
+        else:
+            lines.append("no rule firings recorded (EDB-only query or warm cache hit)")
+        if self.totals:
+            lines.append(
+                "totals: "
+                + ", ".join(f"{name}={value}" for name, value in self.totals.items())
+            )
+        return "\n".join(lines)
+
+
+def profile_trace(root: Span) -> ProfileReport:
+    """Summarise one trace tree into a hot-spot report.
+
+    *root* is typically ``session.tracer.last`` (a ``query`` span), but any
+    subtree works — aggregation covers every ``rule`` span underneath it.
+    """
+    spots: dict[str, RuleHotSpot] = {}
+    for span in root.find("rule"):
+        label = str(span.attributes.get("rule", "<unknown rule>"))
+        spot = spots.get(label)
+        if spot is None:
+            spot = spots[label] = RuleHotSpot(label)
+        spot.firings += 1
+        spot.time_s += span.duration_s
+        spot.facts_derived += int(span.counters.get("facts_derived", 0))
+        spot.join_probes += int(span.counters.get("join_probes", 0))
+    ranked = sorted(spots.values(), key=lambda s: (-s.time_s, -s.firings, s.rule))
+    statement = str(root.attributes.get("statement", root.name))
+    return ProfileReport(
+        statement=statement,
+        duration_s=root.duration_s,
+        hotspots=ranked,
+        totals=root.totals(),
+        iterations=len(root.find("iteration")),
+    )

@@ -41,6 +41,7 @@ from repro.lang.ast import (
     Statement,
 )
 from repro.lang.parser import parse_statement
+from repro.obs.trace import Tracer
 
 #: Everything a query can evaluate to.
 QueryResult = Union[
@@ -94,6 +95,15 @@ class Session:
     automatically on catalog mutation and transaction rollback, and only
     complete (non-degraded) answers are ever stored.  :meth:`cache_stats`
     reports its behaviour.
+
+    ``trace`` turns on query tracing: ``True`` builds a fresh
+    :class:`~repro.obs.trace.Tracer`, a :class:`Tracer` instance is adopted
+    as-is (useful for sharing one collector across sessions), and ``False``
+    (the default) keeps every engine on its untraced hot path.  Each traced
+    query produces one span tree rooted at a ``query`` span — available as
+    :attr:`last_trace` — annotated with the guard's consumed budgets and
+    the :class:`~repro.engine.viewcache.CacheStats` delta, so the trace,
+    the guard diagnostics, and the cache counters reconcile.
     """
 
     def __init__(
@@ -106,6 +116,7 @@ class Session:
         guard: ResourceGuard | None = None,
         cache: "ViewCache | bool | None" = True,
         lint: str = "warn",
+        trace: "Tracer | bool | None" = False,
     ) -> None:
         self.kb = kb if kb is not None else KnowledgeBase()
         self.engine = engine
@@ -134,6 +145,19 @@ class Session:
             self.cache: ViewCache | None = cache
         else:
             self.cache = ViewCache(self.kb) if cache else None
+        #: Span collector for query tracing, or ``None`` when tracing is off
+        #: (see class doc).  Assignable at any time: the REPL's ``.trace``
+        #: command simply swaps it.
+        self.tracer: Tracer | None
+        if isinstance(trace, Tracer):
+            self.tracer = trace
+        else:
+            self.tracer = Tracer() if trace else None
+
+    @property
+    def last_trace(self):
+        """The span tree of the most recent traced query (``None`` untraced)."""
+        return self.tracer.last if self.tracer is not None else None
 
     # -- statement execution -------------------------------------------------------
 
@@ -152,8 +176,51 @@ class Session:
     def execute(
         self, statement: Statement, guard: ResourceGuard | None = None
     ) -> QueryResult:
-        """Evaluate a parsed statement."""
+        """Evaluate a parsed statement.
+
+        With tracing on (:attr:`tracer`), every query runs under a root
+        ``query`` span annotated, on completion, with the guard's consumed
+        budgets and the cache-stats delta — one trace object tells the whole
+        story (see ``docs/OBSERVABILITY.md``).
+        """
         active = self._activate(guard)
+        tracer = self.tracer
+        if tracer is None:
+            return self._dispatch(statement, active, None)
+        stats_before = self.cache.stats.as_dict() if self.cache is not None else None
+        with tracer.span(
+            "query",
+            statement=str(statement),
+            kind=type(statement).__name__,
+            engine=self.engine,
+            executor=self.executor,
+        ):
+            try:
+                return self._dispatch(statement, active, tracer)
+            finally:
+                if active is not None:
+                    tracer.annotate(
+                        guard_steps=active.steps,
+                        guard_facts=active.facts,
+                        guard_iterations=active.iterations,
+                        guard_complete=active.tripped is None,
+                    )
+                if stats_before is not None:
+                    after = self.cache.stats.as_dict()
+                    tracer.annotate(
+                        cache_delta={
+                            name: after[name] - before
+                            for name, before in stats_before.items()
+                            if isinstance(before, int) and after[name] != before
+                        }
+                    )
+
+    def _dispatch(
+        self,
+        statement: Statement,
+        active: ResourceGuard | None,
+        tracer: "Tracer | None",
+    ) -> QueryResult:
         if isinstance(statement, RuleStatement):
             rule = statement.rule
             if rule.is_fact():
@@ -170,20 +237,24 @@ class Session:
             self.kb.add_constraint(statement.constraint)
             return f"constrained: {statement.constraint}"
         if isinstance(statement, RetrieveStatement):
-            return self._retrieve(statement, active)
+            return self._retrieve(statement, active, tracer)
         if isinstance(statement, DescribeStatement):
-            return self._memoized("describe", statement, self._describe, active)
+            return self._memoized(
+                "describe", statement, self._describe, active, tracer
+            )
         if isinstance(statement, ExplainStatement):
             from repro.engine.provenance import explain_statement
 
             return explain_statement(self.kb, statement.subject, statement.qualifier)
         if isinstance(statement, CompareStatement):
-            return self._memoized("compare", statement, self._compare, active)
+            return self._memoized("compare", statement, self._compare, active, tracer)
         raise CoreError(f"cannot execute statement: {statement!r}")
 
     # -- retrieve ----------------------------------------------------------------------
 
-    def _retrieve(self, statement: RetrieveStatement, guard) -> RetrieveResult:
+    def _retrieve(
+        self, statement: RetrieveStatement, guard, tracer=None
+    ) -> RetrieveResult:
         """A data query, memoized on its full dependency fingerprint.
 
         Unlike knowledge queries, retrieve answers depend on stored facts,
@@ -195,7 +266,7 @@ class Session:
         ages out of the LRU.
         """
         if self.cache is None:
-            return self._retrieve_cold(statement, guard)
+            return self._retrieve_cold(statement, guard, tracer)
         if guard is not None:
             guard.check()  # a memo hit must still observe cancellation
         atoms = (
@@ -215,13 +286,19 @@ class Session:
         )
         memoized = self.cache.lookup_statement(key)
         if memoized is not None:
+            if tracer is not None:
+                tracer.count("statement_memo_hits")
             return memoized
-        result = self._retrieve_cold(statement, guard)
+        if tracer is not None:
+            tracer.count("statement_memo_misses")
+        result = self._retrieve_cold(statement, guard, tracer)
         if _complete(result):
             self.cache.store_statement(key, result)
         return result
 
-    def _retrieve_cold(self, statement: RetrieveStatement, guard) -> RetrieveResult:
+    def _retrieve_cold(
+        self, statement: RetrieveStatement, guard, tracer=None
+    ) -> RetrieveResult:
         return retrieve(
             self.kb,
             statement.subject,
@@ -231,11 +308,12 @@ class Session:
             executor=self.executor,
             guard=guard,
             cache=self.cache,
+            tracer=tracer,
         )
 
     # -- knowledge-query memo ----------------------------------------------------------
 
-    def _memoized(self, kind, statement, evaluate, guard):
+    def _memoized(self, kind, statement, evaluate, guard, tracer=None):
         """Evaluate a knowledge query through the cache's statement memo.
 
         Describe/compare answers depend on the rule and constraint sets
@@ -245,7 +323,7 @@ class Session:
         are returned but not stored: a cached answer must be complete.
         """
         if self.cache is None:
-            return evaluate(statement, guard)
+            return evaluate(statement, guard, tracer)
         if guard is not None:
             guard.check()  # a memo hit must still observe cancellation
         key = self.cache.statement_key(
@@ -253,8 +331,12 @@ class Session:
         )
         memoized = self.cache.lookup_statement(key)
         if memoized is not None:
+            if tracer is not None:
+                tracer.count("statement_memo_hits")
             return memoized
-        result = evaluate(statement, guard)
+        if tracer is not None:
+            tracer.count("statement_memo_misses")
+        result = evaluate(statement, guard, tracer)
         if _complete(result):
             self.cache.store_statement(key, result)
         return result
@@ -272,7 +354,10 @@ class Session:
     # -- describe dispatch ------------------------------------------------------------
 
     def _describe(
-        self, statement: DescribeStatement, guard: ResourceGuard | None = None
+        self,
+        statement: DescribeStatement,
+        guard: ResourceGuard | None = None,
+        tracer=None,
     ) -> QueryResult:
         if statement.wildcard:
             if statement.negated_qualifier:
@@ -331,10 +416,14 @@ class Session:
             style=self.style,
             config=self.config,
             guard=guard,
+            tracer=tracer,
         )
 
     def _compare(
-        self, statement: CompareStatement, guard: ResourceGuard | None = None
+        self,
+        statement: CompareStatement,
+        guard: ResourceGuard | None = None,
+        tracer=None,
     ) -> ConceptComparison:
         left, right = statement.left, statement.right
         if left.subject is None or right.subject is None or left.wildcard or right.wildcard:

@@ -1,0 +1,99 @@
+"""Derived-structure invalidation across wholesale row-set changes.
+
+``Relation.lookup`` memoizes per-column ``distinct_count`` statistics (used
+to pick the index probe column) keyed on the mutation version, and the
+change journal feeds incremental view maintenance.  ``restore()`` and
+``clear()`` replace the row set wholesale, so every derived structure must
+drop together — these tests pin the mutate → rollback → lookup sequence
+that would surface a stale probe column or stale statistics.
+"""
+
+from repro.catalog.relation import Relation
+
+
+def fresh_relation():
+    return Relation(
+        2, [("a", "x"), ("b", "x"), ("c", "x"), ("a", "y"), ("b", "z")]
+    )
+
+
+def lookup_rows(relation, pattern):
+    from repro.logic.terms import make_term
+
+    terms = [None if value is None else make_term(value) for value in pattern]
+    return sorted(
+        tuple(str(constant) for constant in row)
+        for row in relation.lookup(terms)
+    )
+
+
+class TestRestoreInvalidation:
+    def test_mutate_rollback_lookup_uses_valid_probe_column(self):
+        relation = fresh_relation()
+        snapshot = relation.checkpoint()
+        # Build indexes and memoize statistics against the mutated state:
+        # column 0 becomes far more selective than column 1.
+        for n in range(20):
+            relation.insert((f"k{n}", "x"))
+        assert lookup_rows(relation, ["a", "x"]) == [("a", "x")]
+        assert relation.distinct_count(0) == 23
+        relation.restore(snapshot)
+        # The memoized stats and indexes reflected the pre-rollback rows;
+        # a multi-bound lookup must still probe correctly.
+        assert lookup_rows(relation, ["a", "x"]) == [("a", "x")]
+        assert lookup_rows(relation, ["b", "z"]) == [("b", "z")]
+        assert relation.distinct_count(0) == 3
+        assert relation.distinct_count(1) == 3
+
+    def test_restore_to_empty_snapshot(self):
+        relation = Relation(2)
+        snapshot = relation.checkpoint()
+        relation.insert(("a", "x"))
+        assert relation.distinct_count(0) == 1
+        relation.restore(snapshot)
+        assert len(relation) == 0
+        assert relation.distinct_count(0) == 0
+        assert lookup_rows(relation, ["a", None]) == []
+
+    def test_version_never_reused_across_restore(self):
+        relation = fresh_relation()
+        snapshot = relation.checkpoint()
+        version_at_checkpoint = relation.version
+        relation.insert(("d", "w"))
+        relation.restore(snapshot)
+        # Same rows as at the checkpoint, but a *newer* version: caches
+        # keyed on (relation, version) may not serve the mid-transaction
+        # state.
+        assert relation.rows() == list(snapshot)
+        assert relation.version > version_at_checkpoint
+
+    def test_journal_unavailable_across_restore(self):
+        relation = fresh_relation()
+        version = relation.version
+        snapshot = relation.checkpoint()
+        relation.insert(("d", "w"))
+        relation.restore(snapshot)
+        assert relation.changes_since(version) is None
+        assert relation.changes_since(relation.version) == []
+
+
+class TestClearInvalidation:
+    def test_clear_drops_stats_indexes_and_journal(self):
+        relation = fresh_relation()
+        version = relation.version
+        assert relation.distinct_count(0) == 3
+        assert lookup_rows(relation, ["a", None]) == [("a", "x"), ("a", "y")]
+        relation.clear()
+        assert len(relation) == 0
+        assert relation.distinct_count(0) == 0
+        assert lookup_rows(relation, ["a", None]) == []
+        assert relation.changes_since(version) is None
+
+    def test_reinsert_after_clear_probes_fresh_indexes(self):
+        relation = fresh_relation()
+        assert lookup_rows(relation, ["a", "x"]) == [("a", "x")]
+        relation.clear()
+        relation.insert(("a", "z"))
+        assert lookup_rows(relation, ["a", None]) == [("a", "z")]
+        assert lookup_rows(relation, ["a", "x"]) == []
+        assert relation.distinct_count(1) == 1

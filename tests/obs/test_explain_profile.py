@@ -1,0 +1,105 @@
+"""Library-level tests for repro.obs.explain and repro.obs.profile."""
+
+import pytest
+
+from repro.datasets import routing_kb, university_kb
+from repro.errors import ReproError
+from repro.obs import explain_plan, profile_trace
+from repro.session import Session
+
+
+class TestExplain:
+    def test_nonrecursive_plan_structure(self, uni):
+        explanation = explain_plan(uni, "retrieve honor(X)")
+        assert explanation.engine == "seminaive"
+        assert explanation.executor == "batch"
+        assert explanation.answer_variables == ["X"]
+        strata = explanation.strata
+        assert [s.recursive for s in strata] == [False]
+        assert strata[0].predicates == ["honor"]
+        steps = strata[0].rules[0].steps
+        assert any("student" in step for step in steps)
+
+    def test_recursive_stratum_marks_delta_positions(self):
+        explanation = explain_plan(routing_kb(), "retrieve reach(X, Y)")
+        recursive = [s for s in explanation.strata if s.recursive]
+        assert recursive
+        delta_rules = [
+            rule for s in recursive for rule in s.rules if rule.delta_positions
+        ]
+        assert delta_rules, "recursive rules must list their delta rewrites"
+
+    def test_nested_executor_renders_nested_loops(self, uni):
+        explanation = explain_plan(uni, "retrieve honor(X)", executor="nested")
+        steps = explanation.strata[0].rules[0].steps
+        assert any(step.startswith("nested_loop") for step in steps)
+
+    def test_qualifier_becomes_query_steps(self, uni):
+        explanation = explain_plan(
+            uni, "retrieve honor(X) where enroll(X, databases)"
+        )
+        assert explanation.query_steps
+        assert any("enroll" in step for step in explanation.query_steps)
+
+    def test_magic_engine_explains_rewritten_program(self, uni):
+        explanation = explain_plan(
+            uni, "retrieve honor(ann)", engine="magic"
+        )
+        rendered = explanation.format()
+        assert "magic" in rendered
+        assert any("magic-sets rewrite" in note for note in explanation.notes)
+
+    def test_topdown_engine_notes_strategy(self, uni):
+        explanation = explain_plan(uni, "retrieve honor(X)", engine="topdown")
+        assert explanation.engine == "topdown"
+        assert explanation.format()
+
+    def test_format_and_as_dict_agree(self, uni):
+        explanation = explain_plan(uni, "retrieve honor(X)")
+        tree = explanation.as_dict()
+        assert tree["engine"] == "seminaive"
+        assert tree["strata"][0]["predicates"] == ["honor"]
+        assert explanation.format()  # renders without raising
+
+    def test_estimates_present_for_edb_joins(self, uni):
+        explanation = explain_plan(uni, "retrieve honor(X)")
+        steps = [s for r in explanation.strata for rule in r.rules for s in rule.steps]
+        assert any("est~" in step for step in steps)
+
+    def test_unknown_predicate_raises(self, uni):
+        with pytest.raises(ReproError):
+            explain_plan(uni, "retrieve nonexistent(X)")
+
+
+class TestProfile:
+    def traced(self, kb, statement):
+        session = Session(kb, trace=True)
+        session.query(statement)
+        return session.last_trace
+
+    def test_hotspots_ranked_and_aggregated(self):
+        root = self.traced(routing_kb(), "retrieve reach(lax, X)")
+        report = profile_trace(root)
+        assert report.iterations >= 1
+        rules = [spot.rule for spot in report.hotspots]
+        assert len(rules) == len(set(rules)), "one row per rule"
+        assert any("reach" in rule for rule in rules)
+        firings = sum(spot.firings for spot in report.hotspots)
+        assert firings == len(root.find("rule"))
+
+    def test_totals_match_span_totals(self):
+        root = self.traced(university_kb(), "retrieve honor(X)")
+        report = profile_trace(root)
+        assert report.totals == root.totals()
+
+    def test_format_table(self):
+        root = self.traced(university_kb(), "retrieve honor(X)")
+        rendered = profile_trace(root).format()
+        assert "rule" in rendered
+        assert "honor(X)" in rendered
+
+    def test_top_limits_table(self):
+        root = self.traced(routing_kb(), "retrieve reach(lax, X)")
+        report = profile_trace(root)
+        tree = report.as_dict(top=1)
+        assert len(tree["hotspots"]) <= 1
