@@ -1,11 +1,16 @@
-"""Perf-regression gate for the materialized view cache.
+"""Perf-regression gate: view-cache speedups and kernel-executor floors.
 
-Re-runs the cache benchmark scenarios at the committed baseline's tier and
-fails (exit 1) if any cached warm-query scenario's warm-vs-cold speedup has
-fallen below ``THRESHOLD`` x the speedup recorded in the committed
-``BENCH_engine.json``.  Wall-clock medians are too noisy to gate on in
-shared CI runners; speedup *ratios* (cold and warm measured in the same
-process, same machine) are stable, so the gate compares those.
+Two gates, both on speedup *ratios* (numerator and denominator measured in
+the same process, same machine — wall-clock medians alone are too noisy to
+gate on in shared CI runners):
+
+1. **view cache** — re-runs the cache benchmark scenarios at the committed
+   baseline's tier and fails if any warm-query speedup has fallen below
+   ``THRESHOLD`` x the speedup recorded in ``BENCH_engine.json``;
+2. **kernel executor** — re-runs the recursive chain/component scenarios
+   under all three executors and fails if the kernel's speedup drops below
+   the absolute floors: ``KERNEL_MIN_VS_BATCH`` x batch and
+   ``KERNEL_MIN_VS_NESTED`` x nested.
 
 Usage::
 
@@ -17,13 +22,47 @@ from __future__ import annotations
 
 import argparse
 import json
+import statistics
 import sys
 from pathlib import Path
 
-from run_benchmarks import TIERS, cache_metrics
+from run_benchmarks import TIERS, cache_metrics, scenarios
 
 #: A fresh warm-query speedup below this fraction of the committed one fails.
 THRESHOLD = 0.5
+
+#: Absolute floors for the kernel executor on the recursive scenarios.
+KERNEL_MIN_VS_BATCH = 2.0
+KERNEL_MIN_VS_NESTED = 10.0
+
+#: Scenarios the kernel gate measures.
+KERNEL_SCENARIOS = ("recursive/chain", "recursive/component")
+
+
+def kernel_gate(sizes, repeats: int) -> list[str]:
+    """Fresh kernel-vs-batch / kernel-vs-nested floors; returns failures."""
+    failures = []
+    runners = scenarios(sizes)
+    for name in KERNEL_SCENARIOS:
+        runner = runners[name]
+        medians = {}
+        for executor in ("batch", "nested", "kernel"):
+            medians[executor] = statistics.median(
+                runner(executor)[0] for _ in range(repeats)
+            )
+        vs_batch = medians["batch"] / medians["kernel"] if medians["kernel"] else 0.0
+        vs_nested = medians["nested"] / medians["kernel"] if medians["kernel"] else 0.0
+        batch_ok = vs_batch >= KERNEL_MIN_VS_BATCH
+        nested_ok = vs_nested >= KERNEL_MIN_VS_NESTED
+        verdict = "ok" if batch_ok and nested_ok else "REGRESSION"
+        print(
+            f"{name:30s} kernel {vs_batch:.1f}x batch "
+            f"(>= {KERNEL_MIN_VS_BATCH:.1f}x)  {vs_nested:.1f}x nested "
+            f"(>= {KERNEL_MIN_VS_NESTED:.1f}x)  {verdict}"
+        )
+        if not (batch_ok and nested_ok):
+            failures.append(name)
+    return failures
 
 
 def main(argv=None) -> int:
@@ -65,10 +104,14 @@ def main(argv=None) -> int:
         )
         if measured < required:
             failures.append(name)
+
+    print()
+    failures.extend(kernel_gate(sizes, sizes["repeats"]))
+
     if failures:
-        print(f"\ncache perf regression in: {', '.join(failures)}")
+        print(f"\nperf regression in: {', '.join(failures)}")
         return 1
-    print("\ncache warm-query speedups within budget")
+    print("\ncache warm-query speedups and kernel floors within budget")
     return 0
 
 

@@ -3,14 +3,19 @@
 Runs the ``bench_engines`` / ``bench_recursive`` / ``bench_retrieve``
 scenario shapes without pytest and writes ``BENCH_engine.json`` —
 scenario -> median wall-time, fact/row counts, executor used — so perf can
-be tracked across PRs.  Every bottom-up scenario runs under both executors
-(``batch`` hash joins vs the ``nested`` tuple-at-a-time reference), and the
-paired speedups are reported alongside.
+be tracked across PRs.  Every bottom-up scenario runs under all three
+executors (``batch`` hash joins, the ``nested`` tuple-at-a-time reference,
+and the interned-id ``kernel`` loops), and the paired speedup ratios
+(``batch_vs_nested``, ``kernel_vs_batch``, ``kernel_vs_nested``) are
+reported alongside.
 
 The ``cache`` section measures the materialized view cache: warm/cold
 repeated-query scenarios (hit rate and warm-vs-cold speedup through the
 session memo) and mutate-then-requery scenarios (incremental refresh of a
-single-fact delta vs a cold recompute).
+single-fact delta vs a cold recompute).  The ``plan_cache`` section pairs
+sessions with the compiled-plan cache on vs off over a point lookup with
+EDB churn between queries — the regime where the statement memo misses
+but compiled plans stay warm.
 
 Besides overwriting the current snapshot, every run appends a timestamped
 entry to ``BENCH_history.json`` so the perf trajectory survives across PRs.
@@ -253,11 +258,55 @@ def cache_metrics(sizes, repeats: int) -> dict:
     return results
 
 
+def plan_cache_metrics(sizes, repeats: int) -> dict:
+    """The compiled-plan cache's win: repeat point lookups with EDB churn.
+
+    Each round inserts a fresh fact before re-issuing the same query, so
+    the statement memo (keyed on relation versions) misses every time.
+    With the plan cache on, only compilation is skipped — the measured
+    pair isolates exactly the cost the cache removes.
+    """
+    rounds = max(repeats, 5)
+    results: dict[str, dict] = {}
+    for executor in ("batch", "kernel"):
+        timings: dict[bool, float] = {}
+        stats: dict[str, int] = {}
+        for enabled in (True, False):
+            session = Session(
+                scaled_university_kb(sizes["students"], seed=11),
+                executor=executor,
+                plan_cache=enabled,
+            )
+            query = "retrieve can_ta(bob, databases)"
+            session.query(query)  # compile once outside the timed loop
+            times = []
+            for index in range(rounds):
+                session.kb.add_fact("student", f"synth{index}", "math", 3.0)
+                start = time.perf_counter()
+                session.query(query)
+                times.append(time.perf_counter() - start)
+            timings[enabled] = statistics.median(times)
+            if enabled:
+                stats = {
+                    "plan_hits": session.plan_cache.hits,
+                    "plan_misses": session.plan_cache.misses,
+                }
+        results[f"point_requery[{executor}]"] = {
+            "cached_median_s": round(timings[True], 6),
+            "uncached_median_s": round(timings[False], 6),
+            "speedup": (
+                round(timings[False] / timings[True], 2) if timings[True] > 0 else None
+            ),
+            **stats,
+        }
+    return results
+
+
 def run_tier(tier: str, repeats: int | None = None) -> dict:
     sizes = TIERS[tier]
     repeats = repeats or sizes["repeats"]
     results: dict[str, dict] = {}
-    speedups: dict[str, float] = {}
+    speedups: dict[str, dict[str, float]] = {}
     for name, runner in scenarios(sizes).items():
         medians: dict[str, float] = {}
         for executor in EXECUTORS:
@@ -272,8 +321,16 @@ def run_tier(tier: str, repeats: int | None = None) -> dict:
                 "facts": count,
                 "executor": executor,
             }
+        ratios: dict[str, float] = {}
         if medians["batch"] > 0:
-            speedups[name] = round(medians["nested"] / medians["batch"], 2)
+            ratios["batch_vs_nested"] = round(medians["nested"] / medians["batch"], 2)
+        if medians["kernel"] > 0:
+            ratios["kernel_vs_batch"] = round(medians["batch"] / medians["kernel"], 2)
+            ratios["kernel_vs_nested"] = round(
+                medians["nested"] / medians["kernel"], 2
+            )
+        if ratios:
+            speedups[name] = ratios
     guard_overhead = {}
     for executor in EXECUTORS:
         off = results[f"guard_overhead/off[{executor}]"]["median_s"]
@@ -304,6 +361,7 @@ def run_tier(tier: str, repeats: int | None = None) -> dict:
         "guard_overhead": guard_overhead,
         "tracer_overhead": tracer_overhead,
         "cache": cache_metrics(sizes, repeats),
+        "plan_cache": plan_cache_metrics(sizes, repeats),
     }
 
 
@@ -328,6 +386,7 @@ def append_history(report: dict, path: Path) -> None:
             "guard_overhead": report["guard_overhead"],
             "tracer_overhead": report["tracer_overhead"],
             "cache": report["cache"],
+            "plan_cache": report["plan_cache"],
         }
     )
     path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
@@ -363,8 +422,12 @@ def main(argv=None) -> int:
     for name, entry in sorted(report["scenarios"].items()):
         print(f"{name:40s} {entry['median_s']:.4f}s  ({entry['facts']} facts)")
     print()
-    for name, factor in sorted(report["speedups"].items()):
-        print(f"{name:40s} batch is {factor:.2f}x the nested executor")
+    for name, ratios in sorted(report["speedups"].items()):
+        print(
+            f"{name:40s} batch {ratios.get('batch_vs_nested', 0):.2f}x nested, "
+            f"kernel {ratios.get('kernel_vs_batch', 0):.2f}x batch / "
+            f"{ratios.get('kernel_vs_nested', 0):.2f}x nested"
+        )
     for executor, factor in sorted(report["guard_overhead"].items()):
         label = f"guard overhead [{executor}]"
         print(f"{label:40s} {factor:.3f}x ungoverned")
@@ -379,6 +442,8 @@ def main(argv=None) -> int:
         speedup = entry.get("speedup")
         label = "warm/cold" if name.startswith("warm_repeat") else "incr/recompute"
         print(f"cache {name:34s} {label} speedup {speedup}x")
+    for name, entry in sorted(report["plan_cache"].items()):
+        print(f"plan_cache {name:29s} cached/uncached speedup {entry['speedup']}x")
     print(f"\nwrote {args.output}")
     return 0
 

@@ -1,11 +1,13 @@
 """Catalog subsystem: schemas, stored relations, the knowledge base, and
 predicate dependency analysis."""
 
+from repro.catalog.columnar import ColumnBlock
 from repro.catalog.database import KnowledgeBase
 from repro.catalog.persist import export_csv, import_csv, load_kb, save_kb
 from repro.catalog.dependencies import DependencyGraph, dependency_graph
 from repro.catalog.relation import Relation
 from repro.catalog.schema import PredicateKind, PredicateSchema
+from repro.catalog.symbols import SYMBOLS, SymbolTable
 from repro.catalog.transaction import KBTransaction
 
 __all__ = [
@@ -17,7 +19,10 @@ __all__ = [
     "save_kb",
     "DependencyGraph",
     "dependency_graph",
+    "ColumnBlock",
     "Relation",
     "PredicateKind",
     "PredicateSchema",
+    "SYMBOLS",
+    "SymbolTable",
 ]

@@ -1,0 +1,121 @@
+"""Columnar storage layout over interned symbol ids.
+
+A :class:`ColumnBlock` is the column-major mirror of a relation's row set:
+one ``array('q')`` (signed 64-bit) per column, holding symbol ids from the
+process-wide :data:`~repro.catalog.symbols.SYMBOLS` table.  Blocks are
+immutable snapshots stamped with the relation version they were built
+from; :meth:`Relation.column_block` memoizes one block per version.
+
+An optional numpy backend vectorizes constant-equality scans.  It engages
+only when *all* of the following hold:
+
+* the ``REPRO_COLUMNAR_BACKEND`` environment variable is ``numpy``
+  (feature flag, off by default),
+* numpy is importable (the import is gated — no hard dependency),
+* the block has at least :data:`NUMPY_MIN_ROWS` rows (below that the
+  array round-trip costs more than the python loop it replaces).
+
+``array('q')`` supports the buffer protocol, so ``numpy.frombuffer`` wraps
+the existing storage without copying.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import Iterable, Sequence
+
+__all__ = ["ColumnBlock", "NUMPY_MIN_ROWS", "numpy_backend"]
+
+#: Below this many rows the vectorized scan is not worth the conversion.
+NUMPY_MIN_ROWS = 1024
+
+_NUMPY_UNSET = object()
+_numpy_module: object = _NUMPY_UNSET
+
+
+def numpy_backend():
+    """The numpy module when the feature flag enables it, else ``None``."""
+    global _numpy_module
+    if os.environ.get("REPRO_COLUMNAR_BACKEND", "").lower() != "numpy":
+        return None
+    if _numpy_module is _NUMPY_UNSET:
+        try:
+            import numpy
+        except ImportError:  # pragma: no cover - numpy ships in CI images
+            _numpy_module = None
+        else:
+            _numpy_module = numpy
+    return _numpy_module
+
+
+class ColumnBlock:
+    """An immutable column-major snapshot of interned rows."""
+
+    __slots__ = ("arity", "version", "columns", "_int_rows")
+
+    def __init__(
+        self, arity: int, version: int, columns: Sequence[array]
+    ) -> None:
+        self.arity = arity
+        self.version = version
+        self.columns: tuple[array, ...] = tuple(columns)
+        self._int_rows: list[tuple[int, ...]] | None = None
+
+    @classmethod
+    def from_rows(
+        cls, arity: int, rows: Sequence[tuple[int, ...]], version: int
+    ) -> "ColumnBlock":
+        columns = [array("q") for _ in range(arity)]
+        for column, values in zip(columns, zip(*rows)):
+            column.extend(values)
+        block = cls(arity, version, columns)
+        block._int_rows = list(rows)
+        return block
+
+    def __len__(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    def row(self, index: int) -> tuple[int, ...]:
+        return tuple(column[index] for column in self.columns)
+
+    def int_rows(self) -> list[tuple[int, ...]]:
+        """Row-major view (memoized): ``list`` of id tuples."""
+        rows = self._int_rows
+        if rows is None:
+            rows = list(zip(*self.columns)) if self.columns else []
+            self._int_rows = rows
+        return rows
+
+    def select(
+        self,
+        const_checks: Sequence[tuple[int, int]],
+        dup_checks: Sequence[tuple[int, int]] = (),
+    ) -> Iterable[int]:
+        """Indexes of rows passing column==id and column==column checks.
+
+        The numpy backend (see module docstring) vectorizes this scan;
+        otherwise a python loop over the row-major view runs.
+        """
+        n = len(self)
+        if not const_checks and not dup_checks:
+            return range(n)
+        np = numpy_backend()
+        if np is not None and n >= NUMPY_MIN_ROWS:
+            mask = None
+            for column, sid in const_checks:
+                hits = np.frombuffer(self.columns[column], dtype=np.int64) == sid
+                mask = hits if mask is None else (mask & hits)
+            for left, right in dup_checks:
+                hits = np.frombuffer(
+                    self.columns[left], dtype=np.int64
+                ) == np.frombuffer(self.columns[right], dtype=np.int64)
+                mask = hits if mask is None else (mask & hits)
+            return np.nonzero(mask)[0].tolist()
+        rows = self.int_rows()
+        return [
+            index
+            for index, row in enumerate(rows)
+            if all(row[c] == sid for c, sid in const_checks)
+            and all(row[left] == row[right] for left, right in dup_checks)
+        ]

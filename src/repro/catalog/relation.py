@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterable, Iterator, Sequence
 
+from repro.catalog.columnar import ColumnBlock
+from repro.catalog.symbols import SYMBOLS
 from repro.errors import ArityError, CatalogError
 from repro.logic.terms import Constant, Term, is_constant, make_term
 
@@ -48,6 +50,13 @@ class Relation:
         #: relation from version ``_journal_base + i`` to ``+ i + 1``.
         self._journal: deque[tuple[str, Row]] = deque()
         self._journal_base = 0
+        #: Interned mirror of ``_rows``: symbol-id tuples in insertion
+        #: order, maintained eagerly on the append path (constants are
+        #: interned at insert time) and dropped to ``None`` (dirty) by any
+        #: non-append mutation; :meth:`int_rows` rebuilds it lazily.
+        self._introws: list[tuple[int, ...]] | None = []
+        #: Memoized columnar snapshot, valid while its version matches.
+        self._block: ColumnBlock | None = None
         for row in rows:
             self.insert(row)
 
@@ -72,6 +81,8 @@ class Relation:
         self._rows[coerced] = None
         self._version += 1
         self._log("+", coerced)
+        if self._introws is not None:
+            self._introws.append(SYMBOLS.intern_row(coerced))
         for column, index in self._indexes.items():
             index.setdefault(coerced[column], {})[coerced] = None
         return True
@@ -79,6 +90,35 @@ class Relation:
     def insert_many(self, rows: Iterable[Sequence[object]]) -> int:
         """Insert many rows; returns how many were new."""
         return sum(1 for row in rows if self.insert(row))
+
+    def load_interned(self, int_rows: Sequence[tuple[int, ...]]) -> int:
+        """Bulk-load rows given as symbol-id tuples (the kernel flush path).
+
+        Semantically ``insert_many`` of the externalized rows, but
+        wholesale: one C-level dict build instead of per-row coercion and
+        journaling.  Because the mutation is not row-at-a-time, journal
+        semantics follow :meth:`restore` — derived structures drop, the
+        version bumps, and the journal resets so incremental consumers
+        recompute.  Returns how many rows were new.
+        """
+        if not int_rows:
+            return 0
+        extern_row = SYMBOLS.extern_row
+        rows = [extern_row(irow) for irow in int_rows]
+        for row in rows:
+            if len(row) != self.arity:
+                raise ArityError(f"expected {self.arity} columns, got {len(row)}")
+        before = len(self._rows)
+        was_empty = before == 0
+        self._rows.update(dict.fromkeys(rows))
+        added = len(self._rows) - before
+        if not added:
+            return 0
+        self._invalidate_derived()
+        if was_empty and len(self._rows) == len(int_rows):
+            # No duplicates collapsed: the id tuples are the exact mirror.
+            self._introws = list(int_rows)
+        return added
 
     def delete(self, row: Sequence[object]) -> bool:
         """Delete a row; returns ``False`` if it was absent.
@@ -91,6 +131,8 @@ class Relation:
         del self._rows[coerced]
         self._version += 1
         self._log("-", coerced)
+        self._introws = None
+        self._block = None
         for column, index in self._indexes.items():
             bucket = index.get(coerced[column])
             if bucket is not None:
@@ -117,6 +159,8 @@ class Relation:
         """
         self._indexes.clear()
         self._stats.clear()
+        self._introws = None
+        self._block = None
         self._version += 1
         self._reset_journal()
 
@@ -182,6 +226,36 @@ class Relation:
     def rows(self) -> list[Row]:
         """All rows, in insertion order."""
         return list(self._rows)
+
+    def int_rows(self) -> list[tuple[int, ...]]:
+        """The rows as symbol-id tuples, in insertion order.
+
+        Ids come from the process-wide :data:`~repro.catalog.symbols.SYMBOLS`
+        table; id-equality is exactly constant-equality.  The mirror is
+        maintained eagerly on inserts and rebuilt here after any other
+        mutation.  Callers must treat the returned list as immutable — it
+        is shared with the kernel executor's caches, which key on
+        :attr:`version`.
+        """
+        rows = self._introws
+        if rows is None:
+            intern_row = SYMBOLS.intern_row
+            rows = [intern_row(row) for row in self._rows]
+            self._introws = rows
+        return rows
+
+    def column_block(self) -> ColumnBlock:
+        """The columnar (``array('q')``) snapshot of :meth:`int_rows`.
+
+        Memoized per version: valid exactly while the row set is
+        unchanged, the same coherence rule as the memoized statistics and
+        the executors' hash tables.
+        """
+        block = self._block
+        if block is None or block.version != self._version:
+            block = ColumnBlock.from_rows(self.arity, self.int_rows(), self._version)
+            self._block = block
+        return block
 
     def _index_for(self, column: int) -> dict[Constant, dict[Row, None]]:
         if column not in self._indexes:
@@ -249,6 +323,7 @@ class Relation:
         """An independent copy (indexes rebuilt lazily)."""
         clone = Relation(self.arity)
         clone._rows = dict(self._rows)
+        clone._introws = None  # rebuilt lazily, like the indexes
         return clone
 
     # -- transactions -----------------------------------------------------------------

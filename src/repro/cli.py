@@ -491,7 +491,7 @@ def main(argv: list[str] | None = None) -> int:
             default="seminaive", help="evaluation engine",
         )
         obs_parser.add_argument(
-            "--executor", choices=("batch", "nested"), default="batch",
+            "--executor", choices=("batch", "nested", "kernel"), default="batch",
             help="bottom-up execution model",
         )
         obs_parser.add_argument(

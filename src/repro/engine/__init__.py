@@ -2,10 +2,12 @@
 
 Two interchangeable engines — semi-naive bottom-up and top-down with
 call-pattern tabling — behind one public API (:func:`retrieve`,
-:func:`evaluate_conjunction`).  The bottom-up engine offers two executors
-(the ``executor`` knob): the set-at-a-time hash-join executor of
-:mod:`repro.engine.plan` (default) and the tuple-at-a-time nested-loop
-reference executor of :mod:`repro.engine.joins`."""
+:func:`evaluate_conjunction`).  The bottom-up engine offers three
+executors (the ``executor`` knob): the set-at-a-time hash-join executor
+of :mod:`repro.engine.plan` (default), the tuple-at-a-time nested-loop
+reference executor of :mod:`repro.engine.joins`, and the interned
+columnar kernel executor of :mod:`repro.engine.kernels` which lowers
+compiled plans to symbol-id space."""
 
 from repro.engine.evaluate import (
     ENGINES,
@@ -28,6 +30,13 @@ from repro.engine.plan import (
     compile_rule,
 )
 from repro.engine.incremental import MaterializedDatabase
+from repro.engine.kernels import (
+    ConjunctionKernel,
+    IntTable,
+    RuleKernel,
+    compile_conjunction_kernel,
+    compile_rule_kernel,
+)
 from repro.engine.magic import MagicProgram, magic_conjunction, magic_rewrite
 from repro.engine.provenance import (
     Explanation,
@@ -52,6 +61,11 @@ __all__ = [
     "RulePlan",
     "compile_conjunction",
     "compile_rule",
+    "ConjunctionKernel",
+    "IntTable",
+    "RuleKernel",
+    "compile_conjunction_kernel",
+    "compile_rule_kernel",
     "RetrieveResult",
     "derivable",
     "evaluate_conjunction",

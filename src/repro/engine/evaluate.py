@@ -10,7 +10,7 @@ predicate defined by ``psi`` (the paper's Example 2 ``answer`` predicate).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, MutableMapping, Sequence
 
 from repro.errors import EngineError, ResourceExhausted, SafetyError
 from repro.catalog.database import KnowledgeBase
@@ -28,6 +28,34 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: Engine selector values accepted by the public API.
 ENGINES = ("seminaive", "topdown", "magic")
+
+#: A compiled-plan cache: ``(rules_version, executor, fingerprint)`` ->
+#: compiled conjunction plan/kernel.  Sessions pass a bounded mapping so
+#: repeat point lookups skip recompilation (see :class:`repro.session.Session`).
+PlanCache = MutableMapping[tuple, object]
+
+
+def _plan_cache_key(
+    kb: KnowledgeBase,
+    executor: str,
+    conjuncts: Sequence[Atom],
+    negated: Sequence[Atom],
+) -> tuple:
+    """The cache key for a compiled conjunction.
+
+    ``rules_version`` keys out any rule change (compiled plans inline the
+    join order chosen against the rules); the textual fingerprint keys the
+    conjunction shape.  Fact-only mutations keep the key stable — the join
+    order is frozen from the first compilation, which is correctness-neutral
+    (any order is valid) and the point of the cache: repeat lookups after
+    EDB churn skip straight to execution.
+    """
+    return (
+        kb.rules_version,
+        executor,
+        " & ".join(str(atom) for atom in conjuncts),
+        " & ".join(str(atom) for atom in negated),
+    )
 
 
 @dataclass
@@ -100,6 +128,7 @@ def evaluate_conjunction(
     guard: ResourceGuard | None = None,
     cache: "ViewCache | None" = None,
     tracer=None,
+    plan_cache: PlanCache | None = None,
 ) -> Iterator[Substitution]:
     """Enumerate substitutions satisfying a conjunction over the database.
 
@@ -107,9 +136,17 @@ def evaluate_conjunction(
     variables must be bound by the positive conjuncts.  ``executor``
     selects the bottom-up execution model: ``"batch"`` compiles the
     conjunction (and the rules under it) into set-at-a-time hash-join
-    plans, ``"nested"`` uses the tuple-at-a-time reference executor.  Only
-    the seminaive engine honours the knob; topdown and magic are
-    tuple-at-a-time by construction.
+    plans, ``"nested"`` uses the tuple-at-a-time reference executor, and
+    ``"kernel"`` lowers the compiled plans to integer join kernels over
+    interned symbol ids (:mod:`repro.engine.kernels`).  Only the seminaive
+    engine honours the knob; topdown and magic are tuple-at-a-time by
+    construction.
+
+    ``plan_cache`` (a mutable mapping, usually a session's bounded cache)
+    memoizes the compiled plan/kernel for the query conjunction itself
+    under ``(kb.rules_version, executor, fingerprint)``, so repeat point
+    lookups skip recompilation.  Honoured by the batch and kernel
+    executors of the seminaive engine.
 
     ``guard`` governs the whole evaluation (deadline, fact budget,
     cancellation).  In strict mode exhaustion raises a
@@ -129,7 +166,7 @@ def evaluate_conjunction(
     check_executor(executor)
     iterator = _evaluate_conjunction(
         kb, conjuncts, engine, max_derived_facts, negated, executor, guard, cache,
-        tracer,
+        tracer, plan_cache,
     )
     if guard is None or guard.mode != "degrade":
         yield from iterator
@@ -150,6 +187,7 @@ def _evaluate_conjunction(
     guard: ResourceGuard | None,
     cache: "ViewCache | None" = None,
     tracer=None,
+    plan_cache: PlanCache | None = None,
 ) -> Iterator[Substitution]:
     if engine == "magic":
         from repro.engine.magic import magic_conjunction
@@ -230,12 +268,38 @@ def _evaluate_conjunction(
             return kb.relation(predicate)
         return derived.get(predicate)
 
+    if executor == "kernel":
+        # The query conjunction runs as an integer kernel: compile (or
+        # fetch from the plan cache), execute over interned rows, and
+        # externalize ids back into substitutions at the boundary.
+        from repro.engine.kernels import (
+            compile_conjunction_kernel,
+            substitutions_from_kernel_batch,
+        )
+
+        key = _plan_cache_key(kb, executor, conjuncts, negated)
+        kernel = plan_cache.get(key) if plan_cache is not None else None
+        if kernel is None:
+            estimate = relation_cost_estimator(relation_view)
+            kernel = compile_conjunction_kernel(conjuncts, negated, estimate=estimate)
+            if plan_cache is not None:
+                plan_cache[key] = kernel
+        yield from substitutions_from_kernel_batch(
+            kernel, kernel.execute(relation_view, guard, tracer)
+        )
+        return
+
     if executor == "batch":
         # The query conjunction itself runs set-at-a-time too: compile it
         # (negated conjuncts become anti-join probes) and adapt the binding
         # batch back into substitutions at the boundary.
-        estimate = relation_cost_estimator(relation_view)
-        plan = compile_conjunction(conjuncts, negated, estimate=estimate)
+        key = _plan_cache_key(kb, executor, conjuncts, negated)
+        plan = plan_cache.get(key) if plan_cache is not None else None
+        if plan is None:
+            estimate = relation_cost_estimator(relation_view)
+            plan = compile_conjunction(conjuncts, negated, estimate=estimate)
+            if plan_cache is not None:
+                plan_cache[key] = plan
         schema = plan.schema
         for binding in plan.execute(relation_view, guard, tracer):
             yield Substitution(dict(zip(schema, binding)))
@@ -282,6 +346,7 @@ def retrieve(
     guard: ResourceGuard | None = None,
     cache: "ViewCache | None" = None,
     tracer=None,
+    plan_cache: PlanCache | None = None,
 ) -> RetrieveResult:
     """Evaluate a data query ``retrieve subject where qualifier``.
 
@@ -340,6 +405,7 @@ def retrieve(
             guard=guard,
             cache=cache,
             tracer=tracer,
+            plan_cache=plan_cache,
         ):
             values = []
             for variable in free_vars:

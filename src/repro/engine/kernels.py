@@ -1,0 +1,592 @@
+"""Plan-specialized integer join kernels: the ``executor="kernel"`` backend.
+
+The batch executor (:mod:`repro.engine.plan`) is set-at-a-time but still
+joins over :class:`~repro.logic.terms.Constant` tuples — every hash-table
+probe and every dedup check re-hashes constants, and ``Constant.__hash__``
+allocates a tuple per call.  This module *kernelizes* a compiled physical
+plan into the integer domain of the process-wide symbol table
+(:data:`repro.catalog.symbols.SYMBOLS`):
+
+* every step is re-specialized over **symbol ids** — the build side reads
+  a relation's interned rows (:meth:`Relation.int_rows` /
+  :meth:`Relation.column_block`), constant arguments are interned once at
+  compile time, and join keys are plain ints (id-equality is exactly
+  constant-equality, see :mod:`repro.catalog.symbols`);
+* adjacent scan→join→compare steps are **fused**: a comparison whose
+  operands are ground right after a join becomes a per-row filter closure
+  applied inside that join's probe loop, so no intermediate batch is
+  materialised;
+* each filter/operand is a small closure specialized at compile time over
+  the concrete slot indexes and interned constants — the hot loop carries
+  no interpretation of step metadata.
+
+Join *order* and slot layout come from :func:`repro.engine.plan.compile_rule`
+/ :func:`~repro.engine.plan.compile_conjunction`, so the kernel executor is
+order- and safety-equivalent to the batch executor by construction; only
+the value domain and the loop bodies differ.
+
+Order comparisons (``<``, ``>=``, …) are about *values*, not identities,
+so their closures externalize ids back to constants before comparing —
+they keep the exact semantics (including the incompatible-type
+:class:`~repro.errors.LogicError`) of :class:`repro.engine.plan._Compare`.
+
+:class:`IntTable` is the transient fact store the semi-naive engine uses
+in kernel mode: an append-only list/set pair of id tuples, presenting the
+same ``(arity, version, int_rows, distinct_count)`` surface as
+:class:`~repro.catalog.relation.Relation`, so build-side memoization and
+the cardinality estimator work unchanged.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Sequence
+
+from repro.errors import ArityError, LogicError
+from repro.catalog.columnar import NUMPY_MIN_ROWS, numpy_backend
+from repro.catalog.symbols import SYMBOLS
+from repro.engine.joins import CostEstimator
+from repro.engine.plan import (
+    ConjunctionPlan,
+    RulePlan,
+    _AntiJoin,
+    _Bind,
+    _Compare,
+    _HashJoin,
+    compile_conjunction,
+    compile_rule,
+)
+from repro.logic.atoms import Atom
+from repro.logic.builtins import comparable
+from repro.logic.clauses import Rule
+from repro.logic.terms import Constant, Variable
+
+#: An intermediate batch: one symbol-id tuple per binding.
+IntBatch = list[tuple[int, ...]]
+
+#: A row filter specialized over the combined (binding + extension) row.
+RowFilter = Callable[[tuple[int, ...]], bool]
+
+_ORDER_OPS: dict[str, Callable[[object, object], bool]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+def _projector(cols: Sequence[int]) -> Callable[[Sequence[int]], tuple]:
+    """A row -> tuple projector specialized over fixed column indexes.
+
+    ``operator.itemgetter`` runs the multi-column case at C speed; the
+    zero/one column cases need wrapping because itemgetter would return a
+    scalar (or not accept zero indexes).
+    """
+    if not cols:
+        return lambda row: ()
+    if len(cols) == 1:
+        col = cols[0]
+        return lambda row: (row[col],)
+    return operator.itemgetter(*cols)
+
+
+class IntTable:
+    """An append-only set of interned rows (the kernel's working store).
+
+    ``version`` is the row count: rows are only ever appended, so the
+    count is a valid monotone version for ``(identity, version)``-keyed
+    build-table memos — the same protocol as :attr:`Relation.version`.
+    """
+
+    __slots__ = ("arity", "rows", "index", "_stats")
+
+    def __init__(self, arity: int, rows: Sequence[tuple[int, ...]] = ()) -> None:
+        self.arity = arity
+        self.rows: list[tuple[int, ...]] = list(rows)
+        self.index: set[tuple[int, ...]] = set(self.rows)
+        self._stats: dict[int, tuple[int, int]] = {}
+
+    def add(self, row: tuple[int, ...]) -> bool:
+        """Append a row; returns ``False`` if it was already present."""
+        if row in self.index:
+            return False
+        self.index.add(row)
+        self.rows.append(row)
+        return True
+
+    def extend_new(self, rows) -> None:
+        """Append rows known to be absent (caller already deduplicated)."""
+        self.index.update(rows)
+        self.rows.extend(rows)
+
+    def int_rows(self) -> list[tuple[int, ...]]:
+        return self.rows
+
+    @property
+    def version(self) -> int:
+        return len(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self.index
+
+    def distinct_count(self, column: int) -> int:
+        """Distinct values in a column, memoized per version (planner use)."""
+        cached = self._stats.get(column)
+        if cached is not None and cached[0] == len(self.rows):
+            return cached[1]
+        count = len({row[column] for row in self.rows})
+        self._stats[column] = (len(self.rows), count)
+        return count
+
+
+def _filtered_rows(relation, const_checks, dup_checks):
+    """Build-side rows passing the constant/duplicate checks.
+
+    When the numpy feature flag is on and the relation carries a columnar
+    block of vectorizable size, the check scan runs over ``array('q')``
+    columns instead of a python loop.
+    """
+    if not const_checks and not dup_checks:
+        return relation.int_rows()
+    if (
+        numpy_backend() is not None
+        and len(relation) >= NUMPY_MIN_ROWS
+        and hasattr(relation, "column_block")
+    ):
+        block = relation.column_block()
+        rows = block.int_rows()
+        return [rows[i] for i in block.select(const_checks, dup_checks)]
+    return [
+        row
+        for row in relation.int_rows()
+        if all(row[c] == sid for c, sid in const_checks)
+        and all(row[left] == row[right] for left, right in dup_checks)
+    ]
+
+
+class _KJoin:
+    """A hash join specialized over symbol ids, with fused row filters.
+
+    Mirrors :class:`repro.engine.plan._HashJoin` — same key slots/columns,
+    same memoized build side — but the build reads interned rows and the
+    probe loop applies any fused comparison filters before a combined row
+    is admitted to the output batch.
+    """
+
+    __slots__ = (
+        "predicate", "arity", "key_slots", "key_cols",
+        "const_checks", "dup_checks", "out_cols", "fused",
+        "_project", "_key_of", "_probe_key",
+        "_cache_rel", "_cache_ver", "_cache_table",
+    )
+
+    def __init__(
+        self,
+        predicate: str,
+        arity: int,
+        key_slots: list[int],
+        key_cols: list[int],
+        const_checks: list[tuple[int, int]],
+        dup_checks: list[tuple[int, int]],
+        out_cols: list[int],
+    ) -> None:
+        self.predicate = predicate
+        self.arity = arity
+        self.key_slots = key_slots
+        self.key_cols = key_cols
+        self.const_checks = const_checks
+        self.dup_checks = dup_checks
+        self.out_cols = out_cols
+        self.fused: list[RowFilter] = []
+        # Specialized at compile time: C-speed projectors over the
+        # concrete column/slot indexes this join uses.
+        self._project = _projector(out_cols)
+        self._key_of = _projector(key_cols)
+        self._probe_key = _projector(key_slots)
+        self._cache_rel: object = None
+        self._cache_ver = -1
+        self._cache_table: object = None
+
+    def _build(self, relation) -> object:
+        version = relation.version
+        if self._cache_rel is relation and self._cache_ver == version:
+            return self._cache_table
+        rows = _filtered_rows(relation, self.const_checks, self.dup_checks)
+        project = self._project
+        if not self.key_cols:
+            table: object = list(map(project, rows))
+        elif len(self.key_cols) == 1:
+            key_col = self.key_cols[0]
+            single: dict[int, list[tuple[int, ...]]] = {}
+            for row in rows:
+                single.setdefault(row[key_col], []).append(project(row))
+            table = single
+        else:
+            key_of = self._key_of
+            multi: dict[tuple[int, ...], list[tuple[int, ...]]] = {}
+            for row in rows:
+                multi.setdefault(key_of(row), []).append(project(row))
+            table = multi
+        self._cache_rel = relation
+        self._cache_ver = version
+        self._cache_table = table
+        return table
+
+    def run(self, batch: IntBatch, relations) -> IntBatch:
+        relation = relations(self.predicate)
+        if relation is None or len(relation) == 0:
+            return []
+        if relation.arity != self.arity:
+            raise ArityError(
+                f"atom {self.predicate}/{self.arity} does not match relation "
+                f"arity {relation.arity}"
+            )
+        table = self._build(relation)
+        fused = self.fused
+        result: IntBatch = []
+        append = result.append
+        if not self.key_slots:
+            if fused:
+                for binding in batch:
+                    for extension in table:  # type: ignore[union-attr]
+                        row = binding + extension
+                        if all(check(row) for check in fused):
+                            append(row)
+            else:
+                for binding in batch:
+                    for extension in table:  # type: ignore[union-attr]
+                        append(binding + extension)
+        elif len(self.key_slots) == 1:
+            slot = self.key_slots[0]
+            get = table.get  # type: ignore[union-attr]
+            if fused:
+                for binding in batch:
+                    matches = get(binding[slot])
+                    if matches:
+                        for extension in matches:
+                            row = binding + extension
+                            if all(check(row) for check in fused):
+                                append(row)
+            else:
+                for binding in batch:
+                    matches = get(binding[slot])
+                    if matches:
+                        for extension in matches:
+                            append(binding + extension)
+        else:
+            probe_key = self._probe_key
+            get = table.get  # type: ignore[union-attr]
+            if fused:
+                for binding in batch:
+                    matches = get(probe_key(binding))
+                    if matches:
+                        for extension in matches:
+                            row = binding + extension
+                            if all(check(row) for check in fused):
+                                append(row)
+            else:
+                for binding in batch:
+                    matches = get(probe_key(binding))
+                    if matches:
+                        for extension in matches:
+                            append(binding + extension)
+        return result
+
+
+class _KBind:
+    """``=`` with one unbound side, over ids."""
+
+    __slots__ = ("source_slot", "source_id")
+
+    def __init__(self, source_slot: int | None, source_id: int | None) -> None:
+        self.source_slot = source_slot
+        self.source_id = source_id
+
+    def run(self, batch: IntBatch, relations) -> IntBatch:
+        if self.source_slot is not None:
+            slot = self.source_slot
+            return [binding + (binding[slot],) for binding in batch]
+        extension = (self.source_id,)
+        return [binding + extension for binding in batch]
+
+
+class _KFilter:
+    """A standalone (unfused) comparison filter over the batch."""
+
+    __slots__ = ("check",)
+
+    def __init__(self, check: RowFilter) -> None:
+        self.check = check
+
+    def run(self, batch: IntBatch, relations) -> IntBatch:
+        check = self.check
+        return [binding for binding in batch if check(binding)]
+
+
+class _KAntiJoin:
+    """A negated atom as an anti-join over id keys (memoized key set)."""
+
+    __slots__ = (
+        "predicate", "arity", "key_slots", "key_cols", "const_checks",
+        "_cache_rel", "_cache_ver", "_cache_keys",
+    )
+
+    def __init__(
+        self,
+        predicate: str,
+        arity: int,
+        key_slots: list[int],
+        key_cols: list[int],
+        const_checks: list[tuple[int, int]],
+    ) -> None:
+        self.predicate = predicate
+        self.arity = arity
+        self.key_slots = key_slots
+        self.key_cols = key_cols
+        self.const_checks = const_checks
+        self._cache_rel: object = None
+        self._cache_ver = -1
+        self._cache_keys: set | None = None
+
+    def _keys(self, relation) -> set:
+        version = relation.version
+        if self._cache_rel is relation and self._cache_ver == version:
+            return self._cache_keys  # type: ignore[return-value]
+        key_cols = self.key_cols
+        keys: set = set()
+        for row in _filtered_rows(relation, self.const_checks, ()):
+            keys.add(tuple(row[c] for c in key_cols))
+        self._cache_rel = relation
+        self._cache_ver = version
+        self._cache_keys = keys
+        return keys
+
+    def run(self, batch: IntBatch, relations) -> IntBatch:
+        relation = relations(self.predicate)
+        if relation is None or len(relation) == 0:
+            return batch
+        if relation.arity != self.arity:
+            raise ArityError(
+                f"negated atom {self.predicate}/{self.arity} does not match "
+                f"relation arity {relation.arity}"
+            )
+        keys = self._keys(relation)
+        if not keys:
+            return batch
+        slots = self.key_slots
+        return [
+            binding
+            for binding in batch
+            if tuple(binding[s] for s in slots) not in keys
+        ]
+
+
+def _operand_reader(
+    slot: int | None, const: Constant | None
+) -> Callable[[tuple[int, ...]], Constant]:
+    """Read a comparison operand as a *constant* from an id row."""
+    if slot is not None:
+        extern = SYMBOLS.extern
+        return lambda row, s=slot: extern(row[s])
+    return lambda row, c=const: c  # type: ignore[misc]
+
+
+def _compare_filter(step: _Compare) -> RowFilter:
+    """Specialize one comparison into an id-row filter closure.
+
+    Equality/disequality compare ids directly (id-equality is
+    constant-equality); order operators externalize to values and keep the
+    incompatible-type error of the batch executor.
+    """
+    op = step.op
+    left_slot, right_slot = step.left_slot, step.right_slot
+    if op in ("=", "!="):
+        want_equal = op == "="
+        if left_slot is not None and right_slot is not None:
+            if want_equal:
+                return lambda row: row[left_slot] == row[right_slot]
+            return lambda row: row[left_slot] != row[right_slot]
+        if left_slot is None and right_slot is None:
+            result = (step.left_const == step.right_const) == want_equal
+            return lambda row: result
+        slot = left_slot if left_slot is not None else right_slot
+        const = step.right_const if left_slot is not None else step.left_const
+        sid = SYMBOLS.intern(const)  # type: ignore[arg-type]
+        if want_equal:
+            return lambda row: row[slot] == sid
+        return lambda row: row[slot] != sid
+    compare = _ORDER_OPS[op]
+    left = _operand_reader(left_slot, step.left_const)
+    right = _operand_reader(right_slot, step.right_const)
+
+    def check(row: tuple[int, ...]) -> bool:
+        l, r = left(row), right(row)
+        if not comparable(l, r):
+            raise LogicError(
+                f"cannot order-compare {l!r} and {r!r} (incompatible types)"
+            )
+        return compare(l.value, r.value)
+
+    return check
+
+
+class ConjunctionKernel:
+    """A kernelized physical plan: same schema, id-domain steps."""
+
+    __slots__ = ("schema", "steps", "described")
+
+    def __init__(
+        self,
+        schema: tuple[Variable, ...],
+        steps: list,
+        described: list[str],
+    ) -> None:
+        self.schema = schema
+        self.steps = steps
+        self.described = described
+
+    def execute(self, relations, guard=None, tracer=None) -> IntBatch:
+        """Run the kernel; guard checkpoints and ``join_probes`` accounting
+        follow :meth:`ConjunctionPlan.execute` — one tick per step boundary,
+        charged with the batch size."""
+        batch: IntBatch = [()]
+        for step in self.steps:
+            if guard is not None:
+                guard.tick(len(batch))
+            if tracer is not None:
+                tracer.count("join_probes", len(batch))
+            batch = step.run(batch, relations)
+            if not batch:
+                return []
+        return batch
+
+
+class RuleKernel:
+    """A conjunction kernel plus the rule's head projection (over ids)."""
+
+    __slots__ = ("rule", "kernel", "head_template", "_fast_project")
+
+    def __init__(
+        self,
+        rule: Rule,
+        kernel: ConjunctionKernel,
+        head_template: list[tuple[bool, int]],
+    ) -> None:
+        self.rule = rule
+        self.kernel = kernel
+        self.head_template = head_template
+        # The common all-variables head projects at C speed; heads with
+        # constant arguments take the generic template loop.
+        if all(not is_const for is_const, _ in head_template):
+            self._fast_project = _projector([value for _, value in head_template])
+        else:
+            self._fast_project = None
+
+    def execute(self, relations, guard=None, tracer=None) -> IntBatch:
+        batch = self.kernel.execute(relations, guard, tracer)
+        if not batch:
+            return []
+        project = self._fast_project
+        if project is not None:
+            return list(map(project, batch))
+        template = self.head_template
+        return [
+            tuple(value if is_const else binding[value] for is_const, value in template)
+            for binding in batch
+        ]
+
+
+def kernelize_conjunction(plan: ConjunctionPlan) -> ConjunctionKernel:
+    """Lower a compiled plan into the integer domain, fusing filters.
+
+    A comparison step whose predecessor (after lowering) is a join is
+    folded into that join's probe loop; chains of comparisons after one
+    join all fuse, since filters do not change the slot schema.
+    """
+    steps: list = []
+    described: list[str] = []
+    for step, line in zip(plan.steps, plan.described):
+        if isinstance(step, _HashJoin):
+            steps.append(
+                _KJoin(
+                    step.predicate,
+                    step.arity,
+                    step.key_slots,
+                    step.key_cols,
+                    [(col, SYMBOLS.intern(value)) for col, value in step.const_checks],
+                    step.dup_checks,
+                    step.out_cols,
+                )
+            )
+            described.append(line)
+        elif isinstance(step, _Bind):
+            source_id = (
+                None
+                if step.source_const is None
+                else SYMBOLS.intern(step.source_const)
+            )
+            steps.append(_KBind(step.source_slot, source_id))
+            described.append(line)
+        elif isinstance(step, _Compare):
+            check = _compare_filter(step)
+            if steps and isinstance(steps[-1], _KJoin):
+                steps[-1].fused.append(check)
+                described.append(f"{line} [fused]")
+            else:
+                steps.append(_KFilter(check))
+                described.append(line)
+        elif isinstance(step, _AntiJoin):
+            steps.append(
+                _KAntiJoin(
+                    step.predicate,
+                    step.arity,
+                    step.key_slots,
+                    step.key_cols,
+                    [(col, SYMBOLS.intern(value)) for col, value in step.const_checks],
+                )
+            )
+            described.append(line)
+        else:  # pragma: no cover - the four step kinds are exhaustive
+            raise TypeError(f"cannot kernelize plan step {type(step).__name__}")
+    return ConjunctionKernel(plan.schema, steps, described)
+
+
+def compile_conjunction_kernel(
+    conjuncts: Sequence[Atom],
+    negated: Sequence[Atom] = (),
+    estimate: CostEstimator | None = None,
+) -> ConjunctionKernel:
+    """Compile a conjunction straight to an integer kernel.
+
+    Ordering, slot layout, and safety checking are those of
+    :func:`repro.engine.plan.compile_conjunction`; the result is its
+    kernelized lowering.
+    """
+    return kernelize_conjunction(
+        compile_conjunction(conjuncts, negated, estimate=estimate)
+    )
+
+
+def compile_rule_kernel(
+    rule: Rule, estimate: CostEstimator | None = None
+) -> RuleKernel:
+    """Compile one rule to an integer kernel with head projection."""
+    plan: RulePlan = compile_rule(rule, estimate=estimate)
+    template: list[tuple[bool, int]] = [
+        (True, SYMBOLS.intern(value)) if is_const else (is_const, value)  # type: ignore[arg-type]
+        for is_const, value in plan.head_template
+    ]
+    return RuleKernel(rule, kernelize_conjunction(plan.plan), template)
+
+
+def substitutions_from_kernel_batch(kernel: ConjunctionKernel, batch: IntBatch):
+    """Externalize an id batch back into :class:`Substitution` objects."""
+    from repro.logic.substitution import Substitution
+
+    schema = kernel.schema
+    extern_row = SYMBOLS.extern_row
+    for binding in batch:
+        yield Substitution(dict(zip(schema, extern_row(binding))))

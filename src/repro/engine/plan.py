@@ -40,9 +40,10 @@ from repro.logic.clauses import Rule
 from repro.logic.terms import Constant, Variable, is_constant
 
 #: Executor selector values accepted by the public API: the batch
-#: (set-at-a-time hash join) executor and the tuple-at-a-time nested-loop
-#: reference executor.
-EXECUTORS = ("batch", "nested")
+#: (set-at-a-time hash join) executor, the tuple-at-a-time nested-loop
+#: reference executor, and the integer-interned kernel executor
+#: (:mod:`repro.engine.kernels`).
+EXECUTORS = ("batch", "nested", "kernel")
 
 #: A batch: bindings for the plan's slot schema, one constant per slot.
 Batch = list[tuple]

@@ -9,7 +9,7 @@ position at a time, so no derivation is recomputed.
 Evaluation is *relevance-restricted*: only predicates the query (transitively)
 depends on are materialised.
 
-Two executors drive rule bodies (the ``executor`` knob):
+Three executors drive rule bodies (the ``executor`` knob):
 
 * ``"batch"`` (default) — the set-at-a-time hash-join executor of
   :mod:`repro.engine.plan`: each rule body is compiled once per
@@ -18,6 +18,10 @@ Two executors drive rule bodies (the ``executor`` knob):
 * ``"nested"`` — the tuple-at-a-time nested-loop reference executor of
   :mod:`repro.engine.joins`; the join order is still computed once per
   ``(rule, delta-position)`` rather than on every delta iteration.
+* ``"kernel"`` — the integer-interned kernels of
+  :mod:`repro.engine.kernels`: the same compiled plans lowered to symbol
+  ids, with the whole stratum fixpoint running over id tuples and the
+  results externalized back into relations when the stratum completes.
 """
 
 from __future__ import annotations
@@ -54,7 +58,8 @@ class SemiNaiveEngine:
         :class:`~repro.errors.EvaluationLimitError`.
     executor:
         ``"batch"`` for the set-at-a-time hash-join executor (default),
-        ``"nested"`` for the tuple-at-a-time reference executor.
+        ``"nested"`` for the tuple-at-a-time reference executor,
+        ``"kernel"`` for the integer-interned kernel executor.
     guard:
         A :class:`~repro.engine.guard.ResourceGuard` governing the whole
         evaluation (deadline, fact/step/iteration budgets, cancellation).
@@ -88,9 +93,11 @@ class SemiNaiveEngine:
         self._delta: dict[str, Relation] = {}
         self._evaluated: set[str] = set()
         #: Per-stratum cache: (rule index, delta position) -> compiled plan
-        #: (batch executor) or pre-ordered body (nested executor).
+        #: (batch executor), pre-ordered body (nested executor), or lowered
+        #: integer kernel (kernel executor).
         self._plans: dict[tuple[int, int], RulePlan] = {}
         self._orders: dict[tuple[int, int], list[Atom]] = {}
+        self._kernels: dict[tuple[int, int], object] = {}
 
     # -- public API ---------------------------------------------------------------
 
@@ -243,6 +250,9 @@ class SemiNaiveEngine:
         return rows
 
     def _evaluate_stratum(self, stratum: set[str]) -> None:
+        if self._executor == "kernel":
+            self._evaluate_stratum_kernel(stratum)
+            return
         kb = self._kb
         rules = [r for p in sorted(stratum) for r in kb.rules_for(p)]
         for rule in rules:
@@ -324,3 +334,127 @@ class SemiNaiveEngine:
                         guard.count_facts(len(rows))
                 delta_rows = new_rows
                 self._delta = {}
+
+    def _evaluate_stratum_kernel(self, stratum: set[str]) -> None:
+        """Integer-domain stratum fixpoint for ``executor="kernel"``.
+
+        Mirrors :meth:`_evaluate_stratum` step for step — same initial
+        round, same delta rewriting, same guard/tracer accounting — but
+        the stratum's derived and delta fact sets live as
+        :class:`~repro.engine.kernels.IntTable` id tuples for the whole
+        fixpoint: no per-row coercion, journaling, or constant hashing on
+        the hot path.  Rows are externalized back to constants and
+        bulk-inserted into the derived relations when the stratum finishes.
+        The flush runs on the way out even when a budget trips mid-fixpoint
+        (bottom-up derivation is monotone, so the partial table is a sound
+        under-approximation — the same degrade contract as the other
+        executors).
+        """
+        from repro.engine.kernels import IntTable, RuleKernel, compile_rule_kernel
+
+        kb = self._kb
+        rules = [r for p in sorted(stratum) for r in kb.rules_for(p)]
+        for rule in rules:
+            check_rule_safety(rule)
+        self._kernels = {}
+        guard = self._guard
+        tracer = self._tracer
+        tables = {p: IntTable(self._relation(p).arity) for p in stratum}
+        kdelta: dict[str, IntTable] = {}
+
+        def kview(predicate: str):
+            """Kernel-side relation view: IntTables for in-flight predicates,
+            the ordinary relations (interned on demand) for everything else."""
+            if predicate.startswith(_DELTA_PREFIX):
+                return kdelta.get(predicate[len(_DELTA_PREFIX):])
+            table = tables.get(predicate)
+            if table is not None:
+                return table
+            return self._relation_view(predicate)
+
+        def fire(rule: Rule, plan_key: tuple[int, int]) -> list[tuple[int, ...]]:
+            kernel = self._kernels.get(plan_key)
+            if kernel is None:
+                estimate = relation_cost_estimator(kview)
+                kernel = compile_rule_kernel(rule, estimate=estimate)
+                self._kernels[plan_key] = kernel
+            assert isinstance(kernel, RuleKernel)
+            return kernel.execute(kview, guard, tracer)
+
+        try:
+            delta_sets: dict[str, set[tuple[int, ...]]] = {p: set() for p in stratum}
+            for rule_index, rule in enumerate(rules):
+                with traced_span(tracer, "rule", rule=str(rule), phase="initial"):
+                    table = tables[rule.head.predicate]
+                    inserted = 0
+                    for irow in fire(rule, (rule_index, -1)):
+                        if table.add(irow):
+                            delta_sets[rule.head.predicate].add(irow)
+                            inserted += 1
+                    if guard is not None and inserted:
+                        guard.count_facts(inserted)
+                    if tracer is not None and inserted:
+                        tracer.count("facts_derived", inserted)
+
+            recursive_rules = [
+                (index, rule, [i for i, b in enumerate(rule.body) if b.predicate in stratum])
+                for index, rule in enumerate(rules)
+            ]
+            recursive_rules = [(i, r, occs) for i, r, occs in recursive_rules if occs]
+            if not recursive_rules:
+                return
+
+            rewritten_rules: list[tuple[int, int, Rule]] = []
+            for rule_index, rule, occurrences in recursive_rules:
+                for position in occurrences:
+                    body = list(rule.body)
+                    original = body[position]
+                    body[position] = Atom(_DELTA_PREFIX + original.predicate, original.args)
+                    rewritten_rules.append((rule_index, position, rule.with_body(body)))
+
+            iteration = 0
+            while any(delta_sets.values()):
+                iteration += 1
+                if guard is not None:
+                    guard.iteration()
+                with traced_span(tracer, "iteration", index=iteration):
+                    if tracer is not None:
+                        tracer.count(
+                            "delta_rows", sum(len(rows) for rows in delta_sets.values())
+                        )
+                    kdelta = {
+                        p: IntTable(tables[p].arity, list(rows))
+                        for p, rows in delta_sets.items()
+                    }
+                    new_sets: dict[str, set[tuple[int, ...]]] = {p: set() for p in stratum}
+                    for rule_index, position, rewritten in rewritten_rules:
+                        with traced_span(
+                            tracer,
+                            "rule",
+                            rule=str(rules[rule_index]),
+                            delta_position=position,
+                        ):
+                            target = new_sets[rewritten.head.predicate]
+                            before = len(target)
+                            index = tables[rewritten.head.predicate].index
+                            for irow in fire(rewritten, (rule_index, position)):
+                                if irow not in index:
+                                    target.add(irow)
+                            if tracer is not None and len(target) != before:
+                                tracer.count("facts_derived", len(target) - before)
+                    for predicate, rows in new_sets.items():
+                        # Rows were checked against the table while firing,
+                        # and the per-predicate set already deduplicated
+                        # across rules: extend without re-probing.
+                        tables[predicate].extend_new(rows)
+                        if guard is not None and rows:
+                            guard.count_facts(len(rows))
+                    delta_sets = new_sets
+                    kdelta = {}
+        finally:
+            # Externalize once per stratum: id tuples -> constant rows.
+            # Runs on the exception path too, so a tripped budget leaves the
+            # usual sound partial materialisation behind.
+            for predicate, table in tables.items():
+                if table.rows:
+                    self._relation(predicate).load_interned(table.rows)

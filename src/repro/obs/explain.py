@@ -149,6 +149,12 @@ def _steps_for(conjuncts, negated, executor, estimate) -> list[str]:
     """Step lines for one conjunction under the chosen executor."""
     if executor == "batch":
         return list(compile_conjunction(conjuncts, negated, estimate=estimate).described)
+    if executor == "kernel":
+        from repro.engine.kernels import compile_conjunction_kernel
+
+        return list(
+            compile_conjunction_kernel(conjuncts, negated, estimate=estimate).described
+        )
     ordered = order_conjuncts(conjuncts, estimate=estimate)
     steps = [f"nested_loop {atom}" for atom in ordered]
     steps.extend(f"check not {atom}" for atom in negated)

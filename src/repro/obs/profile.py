@@ -14,6 +14,11 @@ from dataclasses import dataclass, field
 
 from repro.obs.trace import Span
 
+#: Version of the ``--json`` report shape.  Bump when keys are renamed or
+#: removed; additions alone keep the version (consumers must tolerate new
+#: keys).  2 added ``rows_per_s`` and per-spot ``self_time_ms``.
+PROFILE_SCHEMA_VERSION = 2
+
 
 @dataclass
 class RuleHotSpot:
@@ -22,16 +27,32 @@ class RuleHotSpot:
     rule: str
     firings: int = 0
     time_s: float = 0.0
+    self_time_s: float = 0.0
     facts_derived: int = 0
     join_probes: int = 0
+
+    @property
+    def rows_per_s(self) -> float:
+        """Derivation throughput: facts derived per second of self-time.
+
+        Self-time excludes child spans so a rule is not credited for time
+        its sub-spans already account for.  Zero when no time was measured
+        (sub-resolution firings) — a throughput of 0 reads as "too fast to
+        measure", never as a division error.
+        """
+        if self.self_time_s <= 0.0:
+            return 0.0
+        return self.facts_derived / self.self_time_s
 
     def as_dict(self) -> dict:
         return {
             "rule": self.rule,
             "firings": self.firings,
             "time_ms": round(self.time_s * 1000, 3),
+            "self_time_ms": round(self.self_time_s * 1000, 3),
             "facts_derived": self.facts_derived,
             "join_probes": self.join_probes,
+            "rows_per_s": round(self.rows_per_s, 1),
         }
 
 
@@ -48,6 +69,7 @@ class ProfileReport:
     def as_dict(self, top: int | None = None) -> dict:
         spots = self.hotspots[:top] if top else self.hotspots
         return {
+            "schema_version": PROFILE_SCHEMA_VERSION,
             "statement": self.statement,
             "duration_ms": round(self.duration_s * 1000, 3),
             "iterations": self.iterations,
@@ -65,15 +87,16 @@ class ProfileReport:
             width = max(len("rule"), max(len(s.rule) for s in self.hotspots[:top]))
             header = (
                 f"{'rule':<{width}}  {'firings':>7}  {'time_ms':>9}  "
-                f"{'facts':>7}  {'probes':>8}"
+                f"{'facts':>7}  {'probes':>8}  {'rows/sec':>10}"
             )
             lines.append(header)
             lines.append("-" * len(header))
             for spot in self.hotspots[:top]:
+                rate = f"{spot.rows_per_s:,.0f}" if spot.rows_per_s else "-"
                 lines.append(
                     f"{spot.rule:<{width}}  {spot.firings:>7}  "
                     f"{spot.time_s * 1000:>9.2f}  {spot.facts_derived:>7}  "
-                    f"{spot.join_probes:>8}"
+                    f"{spot.join_probes:>8}  {rate:>10}"
                 )
             dropped = len(self.hotspots) - top
             if dropped > 0:
@@ -102,6 +125,9 @@ def profile_trace(root: Span) -> ProfileReport:
             spot = spots[label] = RuleHotSpot(label)
         spot.firings += 1
         spot.time_s += span.duration_s
+        spot.self_time_s += max(
+            0.0, span.duration_s - sum(child.duration_s for child in span.children)
+        )
         spot.facts_derived += int(span.counters.get("facts_derived", 0))
         spot.join_probes += int(span.counters.get("join_probes", 0))
     ranked = sorted(spots.values(), key=lambda s: (-s.time_s, -s.firings, s.rule))

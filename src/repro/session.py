@@ -17,6 +17,7 @@ to the right evaluator over one knowledge base.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Union
 
 from repro.errors import CoreError
@@ -53,6 +54,40 @@ QueryResult = Union[
     dict,  # wildcard describe: predicate -> DescribeResult
     str,   # acknowledgement of a definition
 ]
+
+
+class PlanCache(OrderedDict):
+    """A bounded LRU mapping for compiled conjunction plans/kernels.
+
+    Keys are ``(kb.rules_version, executor, fingerprint)`` (built by
+    :func:`repro.engine.evaluate._plan_cache_key`), so a rule change keys
+    out every stale plan while fact-only mutations keep plans warm — that
+    is the point: a repeat point lookup after EDB churn misses the
+    statement memo (its key embeds relation versions) but still skips
+    query-plan compilation.  Entries under dead rule versions age out of
+    the LRU bound.
+    """
+
+    def __init__(self, limit: int = 256) -> None:
+        super().__init__()
+        self.limit = limit
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key, default=None):
+        found = super().get(key, default)
+        if found is default:
+            self.misses += 1
+        else:
+            self.hits += 1
+            self.move_to_end(key)
+        return found
+
+    def __setitem__(self, key, value) -> None:
+        super().__setitem__(key, value)
+        self.move_to_end(key)
+        while len(self) > self.limit:
+            self.popitem(last=False)
 
 
 def _complete(result: object) -> bool:
@@ -117,14 +152,19 @@ class Session:
         cache: "ViewCache | bool | None" = True,
         lint: str = "warn",
         trace: "Tracer | bool | None" = False,
+        plan_cache: bool = True,
     ) -> None:
         self.kb = kb if kb is not None else KnowledgeBase()
         self.engine = engine
         self.style = style
         self.config = config
         #: Bottom-up execution model for retrieve statements: "batch"
-        #: (set-at-a-time hash joins) or "nested" (tuple-at-a-time).
+        #: (set-at-a-time hash joins), "nested" (tuple-at-a-time), or
+        #: "kernel" (integer-interned join kernels).
         self.executor = executor
+        #: Compiled-plan cache for retrieve conjunctions (see
+        #: :class:`PlanCache`), or ``None`` when disabled.
+        self.plan_cache: PlanCache | None = PlanCache() if plan_cache else None
         #: Session-wide resource governance specification (see class doc).
         self.guard = guard
         from repro.catalog.loader import LINT_POLICIES
@@ -309,6 +349,7 @@ class Session:
             guard=guard,
             cache=self.cache,
             tracer=tracer,
+            plan_cache=self.plan_cache,
         )
 
     # -- knowledge-query memo ----------------------------------------------------------

@@ -1,0 +1,236 @@
+"""Unit tests for the integer join kernels (``executor="kernel"``).
+
+The kernel executor lowers compiled batch plans into symbol-id space
+(:mod:`repro.engine.kernels`).  These tests pin the lowering itself:
+step-for-step answer parity with the batch plan, comparison fusion into
+the preceding join's probe loop, order-comparison semantics over
+externalized values (including the incompatible-type ``LogicError``),
+head projection, counter parity, and the :class:`IntTable` working store.
+"""
+
+import pytest
+
+from repro.catalog.database import KnowledgeBase
+from repro.catalog.symbols import SYMBOLS
+from repro.engine.kernels import (
+    ConjunctionKernel,
+    IntTable,
+    compile_conjunction_kernel,
+    compile_rule_kernel,
+    substitutions_from_kernel_batch,
+)
+from repro.engine.plan import compile_conjunction, compile_rule
+from repro.errors import LogicError
+from repro.lang.parser import parse_atom, parse_rule
+from repro.logic.atoms import comparison
+from repro.logic.terms import Constant, Variable
+
+
+@pytest.fixture
+def kb():
+    base = KnowledgeBase()
+    base.declare_edb("edge", 2)
+    base.add_facts("edge", [("a", "b"), ("b", "c"), ("c", "d"), ("a", "a")])
+    base.declare_edb("score", 2)
+    base.add_facts("score", [("a", 1), ("b", 2), ("c", 3)])
+    return base
+
+
+def run_both(kb, conjuncts, negated=()):
+    """Execute a conjunction under batch and kernel; return both answer sets."""
+    view = kb.relation
+    plan = compile_conjunction(conjuncts, negated)
+    kernel = compile_conjunction_kernel(conjuncts, negated)
+    batch_rows = set(plan.execute(view))
+    kernel_rows = {SYMBOLS.extern_row(row) for row in kernel.execute(view)}
+    return batch_rows, kernel_rows
+
+
+class TestConjunctionParity:
+    def test_join_parity(self, kb):
+        batch, kernel = run_both(
+            kb, [parse_atom("edge(X, Y)"), parse_atom("edge(Y, Z)")]
+        )
+        assert kernel == batch and batch
+
+    def test_constant_and_duplicate_arguments(self, kb):
+        batch, kernel = run_both(kb, [parse_atom("edge(a, X)")])
+        assert kernel == batch and batch
+        batch, kernel = run_both(kb, [parse_atom("edge(X, X)")])
+        assert kernel == batch == {(Constant("a"),)}
+
+    def test_negated_atom_parity(self, kb):
+        batch, kernel = run_both(
+            kb,
+            [parse_atom("edge(X, Y)")],
+            negated=[parse_atom("edge(Y, X)")],
+        )
+        assert kernel == batch and batch
+
+    def test_bind_step_parity(self, kb):
+        conjuncts = [
+            parse_atom("edge(X, Y)"),
+            comparison(Variable("Z"), "=", Constant("tag")),
+        ]
+        batch, kernel = run_both(kb, conjuncts)
+        assert kernel == batch and batch
+
+
+class TestComparisonFusion:
+    def test_compare_after_join_fuses(self, kb):
+        conjuncts = [
+            parse_atom("score(X, V)"),
+            comparison(Variable("V"), ">=", Constant(2)),
+        ]
+        plan = compile_conjunction(conjuncts)
+        kernel = compile_conjunction_kernel(conjuncts)
+        # The comparison folded into the join: one fewer executable step,
+        # and its described line is marked.
+        assert len(kernel.steps) == len(plan.steps) - 1
+        assert any(line.endswith("[fused]") for line in kernel.described)
+        rows = {SYMBOLS.extern_row(r) for r in kernel.execute(kb.relation)}
+        assert rows == set(plan.execute(kb.relation))
+        assert {row[0] for row in rows} == {Constant("b"), Constant("c")}
+
+    def test_comparison_chain_all_fuses(self, kb):
+        conjuncts = [
+            parse_atom("score(X, V)"),
+            comparison(Variable("V"), ">", Constant(1)),
+            comparison(Variable("V"), "<", Constant(3)),
+        ]
+        plan = compile_conjunction(conjuncts)
+        kernel = compile_conjunction_kernel(conjuncts)
+        assert len(kernel.steps) == len(plan.steps) - 2
+        rows = {SYMBOLS.extern_row(r) for r in kernel.execute(kb.relation)}
+        assert {row[0] for row in rows} == {Constant("b")}
+
+    def test_order_comparison_on_incomparable_types_raises(self, kb):
+        # score holds ints; comparing against text must raise the same
+        # LogicError the batch executor raises (ids are externalized for
+        # order comparisons, never compared as raw ints).
+        conjuncts = [
+            parse_atom("score(X, V)"),
+            comparison(Variable("V"), "<", Constant("banana")),
+        ]
+        plan = compile_conjunction(conjuncts)
+        kernel = compile_conjunction_kernel(conjuncts)
+        with pytest.raises(LogicError):
+            plan.execute(kb.relation)
+        with pytest.raises(LogicError):
+            kernel.execute(kb.relation)
+
+    def test_identity_comparison_uses_ids(self, kb):
+        # = / != are identity comparisons: valid across types, no extern.
+        conjuncts = [
+            parse_atom("edge(X, Y)"),
+            comparison(Variable("X"), "!=", Variable("Y")),
+        ]
+        batch, kernel = run_both(kb, conjuncts)
+        assert kernel == batch
+        assert (Constant("a"), Constant("a")) not in kernel
+
+
+class TestRuleKernel:
+    def test_head_projection_parity(self, kb):
+        rule = parse_rule("linked(Y, X) <- edge(X, Y).")
+        batch = set(compile_rule(rule).execute(kb.relation))
+        kernel = compile_rule_kernel(rule)
+        rows = {SYMBOLS.extern_row(r) for r in kernel.execute(kb.relation)}
+        assert rows == batch and rows
+
+    def test_constant_in_head(self, kb):
+        rule = parse_rule("tagged(X, marker) <- edge(X, Y).")
+        batch = set(compile_rule(rule).execute(kb.relation))
+        kernel = compile_rule_kernel(rule)
+        rows = {SYMBOLS.extern_row(r) for r in kernel.execute(kb.relation)}
+        assert rows == batch
+        assert all(row[1] == Constant("marker") for row in rows)
+
+
+class TestCounters:
+    class _Tracer:
+        def __init__(self):
+            self.counters = {}
+
+        def count(self, name, value=1):
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def test_join_probe_accounting_matches_batch(self, kb):
+        conjuncts = [parse_atom("edge(X, Y)"), parse_atom("edge(Y, Z)")]
+        batch_tracer, kernel_tracer = self._Tracer(), self._Tracer()
+        compile_conjunction(conjuncts).execute(kb.relation, tracer=batch_tracer)
+        compile_conjunction_kernel(conjuncts).execute(
+            kb.relation, tracer=kernel_tracer
+        )
+        assert kernel_tracer.counters == batch_tracer.counters
+        assert kernel_tracer.counters["join_probes"] > 0
+
+
+class TestSubstitutions:
+    def test_externalized_substitutions_bind_schema_variables(self, kb):
+        conjuncts = [parse_atom("edge(a, Y)")]
+        kernel = compile_conjunction_kernel(conjuncts)
+        batch = kernel.execute(kb.relation)
+        substitutions = list(substitutions_from_kernel_batch(kernel, batch))
+        values = {s[Variable("Y")] for s in substitutions}
+        assert values == {Constant("b"), Constant("a")}
+
+
+class TestIntTable:
+    def test_add_deduplicates(self):
+        table = IntTable(2)
+        assert table.add((1, 2))
+        assert not table.add((1, 2))
+        assert table.add((2, 3))
+        assert table.rows == [(1, 2), (2, 3)]
+        assert (1, 2) in table and (9, 9) not in table
+
+    def test_version_is_monotone_row_count(self):
+        table = IntTable(1)
+        assert table.version == 0
+        table.add((1,))
+        table.add((2,))
+        assert table.version == len(table) == 2
+
+    def test_extend_new_skips_probing(self):
+        table = IntTable(1, [(1,)])
+        table.extend_new([(2,), (3,)])
+        assert table.rows == [(1,), (2,), (3,)]
+        assert (3,) in table
+
+    def test_distinct_count_memoized_per_version(self):
+        table = IntTable(2, [(1, 1), (2, 1)])
+        assert table.distinct_count(0) == 2
+        assert table.distinct_count(1) == 1
+        table.add((3, 9))
+        assert table.distinct_count(1) == 2
+
+
+class TestKernelCaches:
+    def test_build_side_memo_keyed_on_version(self, kb):
+        conjuncts = [parse_atom("edge(X, Y)"), parse_atom("edge(Y, Z)")]
+        kernel = compile_conjunction_kernel(conjuncts)
+        first = {SYMBOLS.extern_row(r) for r in kernel.execute(kb.relation)}
+        # Warm cache: same relation, same version — and still correct
+        # after a mutation bumps the version.
+        assert {SYMBOLS.extern_row(r) for r in kernel.execute(kb.relation)} == first
+        kb.add_fact("edge", "d", "e")
+        fresh = {SYMBOLS.extern_row(r) for r in kernel.execute(kb.relation)}
+        assert (Constant("c"), Constant("d"), Constant("e")) in fresh
+
+    def test_kernel_is_reusable_across_relation_objects(self, kb):
+        conjuncts = [parse_atom("edge(X, Y)")]
+        kernel = compile_conjunction_kernel(conjuncts)
+        assert kernel.execute(kb.relation)
+        other = KnowledgeBase()
+        other.declare_edb("edge", 2)
+        other.add_facts("edge", [("z", "w")])
+        rows = {SYMBOLS.extern_row(r) for r in kernel.execute(other.relation)}
+        assert rows == {(Constant("z"), Constant("w"))}
+
+    def test_empty_relation_short_circuits(self, kb):
+        kernel = compile_conjunction_kernel([parse_atom("edge(X, Y)")])
+        empty = KnowledgeBase()
+        empty.declare_edb("edge", 2)
+        assert kernel.execute(empty.relation) == []
+        assert isinstance(kernel, ConjunctionKernel)

@@ -174,6 +174,12 @@ class TestQueryPathsLeaveKbUntouched:
     def test_seminaive_nested(self):
         drive("seminaive-nested", lambda: chain_kb(24), run_query("seminaive", "nested"))
 
+    def test_seminaive_kernel(self):
+        # Deeper kernel-specific invariants (symbol table, interned
+        # mirrors) live in test_kernel_faults.py; this pins the shared
+        # contract: injected faults leave the catalog untouched.
+        drive("seminaive-kernel", lambda: chain_kb(24), run_query("seminaive", "kernel"))
+
     def test_topdown(self):
         drive("topdown", lambda: chain_kb(20), run_query("topdown"))
 

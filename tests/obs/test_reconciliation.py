@@ -32,6 +32,29 @@ class TestGuardReconciliation:
         assert len(root.find("iteration")) >= 1
         assert root.attributes["guard_iterations"] >= 1
 
+    def test_kernel_executor_reconciles(self):
+        # The kernel executor keeps its own interned working tables; its
+        # books must still match the guard's fact accounting exactly.
+        session = traced_session(routing_kb(), executor="kernel")
+        session.query("retrieve reach(lax, X)")
+        root = session.last_trace
+        assert root.total("facts_derived") == root.attributes["guard_facts"]
+        assert root.attributes["guard_complete"] is True
+        assert len(root.find("iteration")) >= 1
+
+    def test_kernel_counters_match_batch(self):
+        counters = {}
+        for executor in ("batch", "kernel"):
+            session = traced_session(routing_kb(), executor=executor)
+            session.query("retrieve reach(lax, X)")
+            root = session.last_trace
+            counters[executor] = {
+                name: value
+                for name, value in root.totals().items()
+                if name in ("facts_derived", "delta_rows", "answer_rows")
+            }
+        assert counters["kernel"] == counters["batch"]
+
     def test_answer_rows_matches_result(self):
         session = traced_session(routing_kb())
         result = session.query("retrieve reach(lax, X)")

@@ -4,6 +4,7 @@ Every engine configuration the repo ships —
 
 * semi-naive bottom-up with the set-at-a-time hash-join executor,
 * semi-naive bottom-up with the nested-loop reference executor,
+* semi-naive bottom-up with the interned columnar kernel executor,
 * top-down evaluation with call-pattern tabling,
 * magic-sets rewriting followed by semi-naive evaluation,
 
@@ -41,6 +42,7 @@ VARIABLES = [Variable(n) for n in ("X", "Y", "Z", "W")]
 CONFIGS = (
     ("seminaive", "batch"),
     ("seminaive", "nested"),
+    ("seminaive", "kernel"),
     ("topdown", "batch"),
     ("magic", "batch"),
 )

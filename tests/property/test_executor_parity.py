@@ -1,10 +1,11 @@
-"""Batch-executor / nested-loop parity on randomized programs.
+"""Executor parity (batch / nested / kernel) on randomized programs.
 
-The set-at-a-time hash-join executor (``executor="batch"``) and the
-tuple-at-a-time nested-loop reference executor (``executor="nested"``) must
-derive *identical* relations on every program — including rules with
-comparisons and stratified negation.  Workloads come from
-``repro.datasets.generators`` plus hypothesis-generated layered programs.
+The set-at-a-time hash-join executor (``executor="batch"``), the
+tuple-at-a-time nested-loop reference executor (``executor="nested"``), and
+the interned columnar kernel executor (``executor="kernel"``) must derive
+*identical* relations on every program — including rules with comparisons
+and stratified negation.  Workloads come from ``repro.datasets.generators``
+plus hypothesis-generated layered programs.
 """
 
 from hypothesis import given, settings
@@ -29,7 +30,11 @@ def derived_by(kb, predicate, executor):
 
 def assert_parity(kb, predicates):
     for predicate in predicates:
-        assert derived_by(kb, predicate, "batch") == derived_by(kb, predicate, "nested")
+        baseline = derived_by(kb, predicate, "batch")
+        for executor in ("nested", "kernel"):
+            assert derived_by(kb, predicate, executor) == baseline, (
+                f"{executor} diverged from batch on {predicate}"
+            )
 
 
 @settings(max_examples=20, deadline=None)
@@ -129,5 +134,8 @@ def test_retrieve_parity_with_negation(nodes, edges, seed):
     qualifier = (parse_atom("edge(X, Y)"),)
     negated = (parse_atom("path(Y, X)"),)
     batch = retrieve(kb, subject, qualifier, negated_qualifier=negated, executor="batch")
-    nested = retrieve(kb, subject, qualifier, negated_qualifier=negated, executor="nested")
-    assert batch.to_set() == nested.to_set()
+    for executor in ("nested", "kernel"):
+        other = retrieve(
+            kb, subject, qualifier, negated_qualifier=negated, executor=executor
+        )
+        assert other.to_set() == batch.to_set()
