@@ -26,7 +26,7 @@ import statistics
 import sys
 from pathlib import Path
 
-from run_benchmarks import TIERS, cache_metrics, scenarios
+from run_benchmarks import TIERS, cache_metrics, durability_metrics, scenarios
 
 #: A fresh warm-query speedup below this fraction of the committed one fails.
 THRESHOLD = 0.5
@@ -37,6 +37,13 @@ KERNEL_MIN_VS_NESTED = 10.0
 
 #: Scenarios the kernel gate measures.
 KERNEL_SCENARIOS = ("recursive/chain", "recursive/component")
+
+#: Durable-commit ceiling: one bulk transaction may cost at most this much
+#: relative to the same mutation on a plain in-memory knowledge base.
+WAL_MAX_OVERHEAD = 1.25
+
+#: Log-replay floor during recovery, in rows applied per second.
+REPLAY_MIN_ROWS_PER_S = 1_000.0
 
 
 def kernel_gate(sizes, repeats: int) -> list[str]:
@@ -62,6 +69,29 @@ def kernel_gate(sizes, repeats: int) -> list[str]:
         )
         if not (batch_ok and nested_ok):
             failures.append(name)
+    return failures
+
+
+def durability_gate(sizes, repeats: int) -> list[str]:
+    """Fresh WAL-overhead ceiling and replay-throughput floor."""
+    failures = []
+    fresh = durability_metrics(sizes, repeats)
+    ratio = fresh["wal_overhead"]["ratio"] or float("inf")
+    verdict = "ok" if ratio <= WAL_MAX_OVERHEAD else "REGRESSION"
+    print(
+        f"{'durability/wal_overhead':30s} measured {ratio:.3f}x plain  "
+        f"required <= {WAL_MAX_OVERHEAD:.2f}x  {verdict}"
+    )
+    if ratio > WAL_MAX_OVERHEAD:
+        failures.append("durability/wal_overhead")
+    rows_per_s = fresh["replay"]["rows_per_s"] or 0.0
+    verdict = "ok" if rows_per_s >= REPLAY_MIN_ROWS_PER_S else "REGRESSION"
+    print(
+        f"{'durability/replay':30s} measured {rows_per_s:.0f} rows/s  "
+        f"required >= {REPLAY_MIN_ROWS_PER_S:.0f}  {verdict}"
+    )
+    if rows_per_s < REPLAY_MIN_ROWS_PER_S:
+        failures.append("durability/replay")
     return failures
 
 
@@ -107,11 +137,16 @@ def main(argv=None) -> int:
 
     print()
     failures.extend(kernel_gate(sizes, sizes["repeats"]))
+    print()
+    failures.extend(durability_gate(sizes, sizes["repeats"]))
 
     if failures:
         print(f"\nperf regression in: {', '.join(failures)}")
         return 1
-    print("\ncache warm-query speedups and kernel floors within budget")
+    print(
+        "\ncache warm-query speedups, kernel floors, and durability "
+        "budgets all within bounds"
+    )
     return 0
 
 

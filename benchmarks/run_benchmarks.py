@@ -302,6 +302,83 @@ def plan_cache_metrics(sizes, repeats: int) -> dict:
     return results
 
 
+def durability_metrics(sizes, repeats: int) -> dict:
+    """The write-ahead log's cost and recovery's speed.
+
+    ``wal_overhead`` pairs the same bulk mutation (one transaction
+    inserting every fact, so the whole batch is one log record and one
+    fsync) against a plain in-memory knowledge base: the ratio is the
+    durability tax on the mutation path, gated at <= 1.25x.
+    ``replay`` rebuilds a directory whose state lives mostly in the log
+    (many commits, no covering snapshot) and measures staged recovery:
+    log-replay throughput in rows/sec and the cold-recover wall latency.
+    """
+    import shutil
+    import tempfile
+
+    from repro.catalog import KnowledgeBase, Recoverer
+    from repro.catalog.wal import open_durable
+
+    rows = sizes["students"] * 10
+    rounds = max(repeats, 3)
+    facts = [(f"p{i}", i % 97) for i in range(rows)]
+
+    def timed_insert(kb) -> float:
+        kb.declare_edb("event", 2)
+        start = time.perf_counter()
+        with kb.transaction():
+            kb.add_facts("event", facts)
+        return time.perf_counter() - start
+
+    plain = statistics.median(
+        timed_insert(KnowledgeBase("plain")) for _ in range(rounds)
+    )
+    durable_times = []
+    scratch = tempfile.mkdtemp(prefix="dbk-bench-")
+    try:
+        for index in range(rounds):
+            directory = f"{scratch}/wal-{index}"
+            kb = open_durable(directory)
+            durable_times.append(timed_insert(kb))
+            kb.durability.log.close()
+        durable = statistics.median(durable_times)
+
+        # A log-heavy directory: committed batches, no covering snapshot.
+        replay_dir = f"{scratch}/replay"
+        kb = open_durable(replay_dir, snapshot_every=None)
+        kb.declare_edb("event", 2)
+        batch = max(len(facts) // 50, 1)
+        for start_row in range(0, len(facts), batch):
+            with kb.transaction():
+                kb.add_facts("event", facts[start_row:start_row + batch])
+        kb.durability.log.close()
+        recover_times = []
+        replayed = 0
+        for _ in range(rounds):
+            start = time.perf_counter()
+            report = Recoverer(replay_dir).recover()
+            recover_times.append(time.perf_counter() - start)
+            replayed = report.events_applied
+        recover_s = statistics.median(recover_times)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    return {
+        "wal_overhead": {
+            "plain_median_s": round(plain, 6),
+            "durable_median_s": round(durable, 6),
+            "ratio": round(durable / plain, 3) if plain > 0 else None,
+            "rows": rows,
+        },
+        "replay": {
+            "cold_recover_median_s": round(recover_s, 6),
+            "rows_replayed": replayed,
+            "rows_per_s": (
+                round(replayed / recover_s, 1) if recover_s > 0 else None
+            ),
+        },
+    }
+
+
 def run_tier(tier: str, repeats: int | None = None) -> dict:
     sizes = TIERS[tier]
     repeats = repeats or sizes["repeats"]
@@ -362,6 +439,7 @@ def run_tier(tier: str, repeats: int | None = None) -> dict:
         "tracer_overhead": tracer_overhead,
         "cache": cache_metrics(sizes, repeats),
         "plan_cache": plan_cache_metrics(sizes, repeats),
+        "durability": durability_metrics(sizes, repeats),
     }
 
 
@@ -387,6 +465,7 @@ def append_history(report: dict, path: Path) -> None:
             "tracer_overhead": report["tracer_overhead"],
             "cache": report["cache"],
             "plan_cache": report["plan_cache"],
+            "durability": report["durability"],
         }
     )
     path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
@@ -444,6 +523,16 @@ def main(argv=None) -> int:
         print(f"cache {name:34s} {label} speedup {speedup}x")
     for name, entry in sorted(report["plan_cache"].items()):
         print(f"plan_cache {name:29s} cached/uncached speedup {entry['speedup']}x")
+    wal = report["durability"]["wal_overhead"]
+    replay = report["durability"]["replay"]
+    print(
+        f"{'durability wal_overhead':40s} {wal['ratio']}x plain "
+        f"({wal['rows']} rows, one commit)"
+    )
+    print(
+        f"{'durability replay':40s} {replay['rows_per_s']} rows/s, "
+        f"cold recover {replay['cold_recover_median_s']:.4f}s"
+    )
     print(f"\nwrote {args.output}")
     return 0
 

@@ -9,10 +9,18 @@ from repro.catalog.relation import Relation
 from repro.catalog.schema import PredicateKind, PredicateSchema
 from repro.catalog.symbols import SYMBOLS, SymbolTable
 from repro.catalog.transaction import KBTransaction
+from repro.catalog.recovery import Recoverer, RecoveryReport, apply_event
+from repro.catalog.wal import Durability, DurableLog, open_durable
 
 __all__ = [
     "KnowledgeBase",
     "KBTransaction",
+    "Durability",
+    "DurableLog",
+    "Recoverer",
+    "RecoveryReport",
+    "apply_event",
+    "open_durable",
     "export_csv",
     "import_csv",
     "load_kb",

@@ -58,6 +58,9 @@ class KnowledgeBase:
         self._graph: DependencyGraph | None = None
         #: The open transaction, if any (see :meth:`transaction`).
         self._tx = None
+        #: The write-ahead-log binding when the knowledge base is durable
+        #: (see :mod:`repro.catalog.wal`); ``None`` for in-memory use.
+        self._durability = None
         #: Monotone counters for external version-keyed caches: the first
         #: changes whenever the rule set or the predicate catalog changes
         #: (anything that can alter what is derivable, facts aside), the
@@ -100,6 +103,25 @@ class KnowledgeBase:
         if self._tx is not None:
             self._tx.touch(predicate)
 
+    def _autocommit(self) -> None:
+        """Make a mutation outside any transaction durable immediately.
+
+        Mutations inside a transaction batch into one log record at
+        :meth:`KBTransaction.commit
+        <repro.catalog.transaction.KBTransaction.commit>`; outside one,
+        each mutating call syncs on its own (one record, one fsync).
+        Mutations that bypass the KnowledgeBase API (direct
+        :class:`~repro.catalog.relation.Relation` calls) are captured by
+        the next commit's diff instead of immediately.
+        """
+        if self._tx is None and self._durability is not None:
+            self._durability.commit()
+
+    @property
+    def durability(self):
+        """The write-ahead-log binding, or ``None`` when in-memory only."""
+        return self._durability
+
     # -- schema -----------------------------------------------------------------
 
     def declare_edb(
@@ -109,6 +131,7 @@ class KnowledgeBase:
         schema = PredicateSchema(name, arity, PredicateKind.EDB, attributes)
         self._register(schema)
         self._relations[name] = Relation(arity)
+        self._autocommit()
         return schema
 
     def declare_idb(
@@ -121,6 +144,7 @@ class KnowledgeBase:
         """
         schema = PredicateSchema(name, arity, PredicateKind.IDB, attributes)
         self._register(schema)
+        self._autocommit()
         return schema
 
     def _register(self, schema: PredicateSchema) -> None:
@@ -186,10 +210,20 @@ class KnowledgeBase:
                 )
             raise UnknownPredicateError(f"unknown EDB predicate: {predicate}")
         self._tx_touch(predicate)
-        return self._relations[predicate].insert(values)
+        inserted = self._relations[predicate].insert(values)
+        if inserted:
+            self._autocommit()
+        return inserted
 
     def add_facts(self, predicate: str, rows: Iterable[Sequence[object]]) -> int:
-        """Store many facts; returns how many were new."""
+        """Store many facts; returns how many were new.
+
+        On a durable knowledge base the rows batch into one transaction
+        (one log record, one fsync) instead of syncing per row.
+        """
+        if self._durability is not None and self._tx is None:
+            with self.transaction():
+                return sum(1 for row in rows if self.add_fact(predicate, *row))
         return sum(1 for row in rows if self.add_fact(predicate, *row))
 
     def relation(self, predicate: str) -> Relation:
@@ -243,6 +277,7 @@ class KnowledgeBase:
         self._rules_version += 1
         if self.enforce_recursion_discipline:
             self._check_recursion_discipline(rule)
+        self._autocommit()
 
     def _check_body_atom(self, atom: Atom) -> None:
         if atom.is_comparison():
@@ -280,7 +315,13 @@ class KnowledgeBase:
 
         Mutually recursive groups should be added through this entry point:
         discipline checking is deferred until the whole group is in place.
+        On a durable knowledge base the group batches into one transaction
+        (one log record) instead of syncing per rule.
         """
+        if self._durability is not None and self._tx is None:
+            with self.transaction():
+                self.add_rules(rules)
+            return
         saved = self.enforce_recursion_discipline
         self.enforce_recursion_discipline = False
         added: list[Rule] = []
@@ -312,6 +353,7 @@ class KnowledgeBase:
         """Add an integrity constraint (used for validation, not inference)."""
         self._constraints.append(constraint)
         self._constraints_version += 1
+        self._autocommit()
 
     def constraints(self) -> list[IntegrityConstraint]:
         """All integrity constraints."""

@@ -67,8 +67,35 @@ def kb_from_dict(data: dict) -> KnowledgeBase:
     return kb
 
 
+def fsync_directory(directory: str) -> None:
+    """Flush a directory entry to disk, where the platform supports it.
+
+    After ``os.replace`` the *rename* itself lives in the directory inode;
+    without this a power loss can forget the new name (and, with the old
+    file already unlinked, drop both old and new contents).  Platforms
+    that cannot fsync a directory (or deny it) are ignored — the rename
+    is still atomic, just not yet durable.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def _atomic_write(path: str, text: str) -> None:
-    """Write *text* to *path* all-or-nothing (temp file + ``os.replace``)."""
+    """Write *text* to *path* all-or-nothing and durably.
+
+    The full output is staged in a temporary file, flushed and fsynced,
+    then ``os.replace``d over the destination, and finally the parent
+    directory is fsynced so the rename survives power loss.  A failure at
+    any stage removes the staged file and leaves the destination intact.
+    """
     directory = os.path.dirname(os.path.abspath(path)) or "."
     fd, staged = tempfile.mkstemp(
         dir=directory, prefix=f".{os.path.basename(path)}.", suffix=".tmp"
@@ -76,6 +103,8 @@ def _atomic_write(path: str, text: str) -> None:
     try:
         with os.fdopen(fd, "w", newline="") as handle:
             handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(staged, path)
     except BaseException:
         try:
@@ -83,6 +112,7 @@ def _atomic_write(path: str, text: str) -> None:
         except OSError:
             pass
         raise
+    fsync_directory(directory)
 
 
 def save_kb(kb: KnowledgeBase, path: str) -> None:

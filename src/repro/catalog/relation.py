@@ -50,6 +50,12 @@ class Relation:
         #: relation from version ``_journal_base + i`` to ``+ i + 1``.
         self._journal: deque[tuple[str, Row]] = deque()
         self._journal_base = 0
+        #: How many times the journal was reset by a wholesale state change
+        #: (clear/restore/bulk load).  Each reset strands incremental
+        #: consumers — view-cache repairs and WAL diffs fall back to full
+        #: recompute/reload — so the counter makes those fallbacks
+        #: diagnosable (surfaced via ``Session.cache_stats``).
+        self.journal_resets = 0
         #: Interned mirror of ``_rows``: symbol-id tuples in insertion
         #: order, maintained eagerly on the append path (constants are
         #: interned at insert time) and dropped to ``None`` (dirty) by any
@@ -179,6 +185,7 @@ class Relation:
         """
         self._journal.clear()
         self._journal_base = self._version
+        self.journal_resets += 1
 
     def changes_since(self, version: int) -> list[tuple[str, Row]] | None:
         """The mutations applied since *version*, oldest first, or ``None``.

@@ -87,6 +87,16 @@ class KBTransaction:
         self.active = False
 
     def commit(self) -> None:
-        """Discard the staged snapshots; the mutations stand."""
+        """Discard the staged snapshots; the mutations stand.
+
+        On a durable knowledge base (:mod:`repro.catalog.wal`) the whole
+        span is then appended to the write-ahead log as **one** record and
+        fsynced before this method returns — the ack point of the commit.
+        If the append raises, the in-memory mutations stand but are not
+        durable; the caller must treat the commit as failed (the next
+        successful commit re-captures the gap by diffing).
+        """
         self._touched.clear()
         self.active = False
+        if self._kb._durability is not None:
+            self._kb._durability.commit()

@@ -1,0 +1,505 @@
+"""Durable write-ahead log and snapshots for a knowledge base.
+
+Everything in the catalog is in-memory; this module makes it survive a
+crash.  A durable knowledge base lives in one directory::
+
+    kbdir/
+      wal.log        # append-only change log, one framed record per commit
+      snapshot.json  # periodic full dump (save_kb format + log position)
+
+Three layers:
+
+* :class:`DurableLog` — the on-disk log.  Each committed transaction
+  appends **one** record: a CRC-framed JSON line carrying the commit's
+  events and post-commit version stamps, flushed and fsynced before the
+  append returns (fsync-before-ack).  A torn tail — a crash mid-write —
+  is detected by checksum on read and truncated by recovery; because a
+  commit is a single record, a transaction is either wholly in the log or
+  wholly absent, never half-applied.
+* snapshots — :meth:`DurableLog.snapshot` writes the full knowledge base
+  through the same atomic, fsynced temp-file/``os.replace`` path as
+  :func:`~repro.catalog.persist.save_kb`, stamped with the log position
+  it covers, then truncates the log; recovery is snapshot + tail replay.
+* :class:`Durability` — the binding between a live
+  :class:`~repro.catalog.database.KnowledgeBase` and its log.
+  :meth:`KBTransaction.commit <repro.catalog.transaction.KBTransaction.commit>`
+  calls :meth:`Durability.commit`, which *diffs* the knowledge base
+  against the last durable state — new schemas, each touched relation's
+  change journal (:meth:`~repro.catalog.relation.Relation.changes_since`,
+  the same ``(op, row)`` event shape, extended here with rule, constraint
+  and schema events), new rules and constraints — and appends the batch.
+  Mutations outside a transaction auto-commit one record each.
+
+Diffing at commit time (rather than hooking every mutation site) means
+bulk paths that bypass the journal (``load_interned``, ``clear``,
+``restore`` — anything that resets it) degrade gracefully: the relation
+is logged wholesale as a ``reload`` event, and when the reload is large
+the commit is folded into a fresh snapshot instead.
+
+Entry points: :func:`open_durable` attaches (or recovers) a durable
+knowledge base; ``Session(durable=path)`` and ``dbk --durable`` build on
+it.  See ``docs/ROBUSTNESS.md`` ("Durability & recovery").
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import WalError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.catalog.database import KnowledgeBase
+
+#: Format marker on the first line of every log file.
+LOG_FORMAT = "repro-wal/1"
+
+#: Format marker inside every snapshot document.
+SNAPSHOT_FORMAT = "repro-snap/1"
+
+#: Default log file name inside a durable directory.
+LOG_NAME = "wal.log"
+
+#: Default snapshot file name inside a durable directory.
+SNAPSHOT_NAME = "snapshot.json"
+
+#: Default number of log records after which :class:`Durability` folds the
+#: log into a fresh snapshot.
+DEFAULT_SNAPSHOT_EVERY = 256
+
+#: A commit whose ``reload`` events carry more rows than this is written
+#: as a snapshot instead of a log record (re-logging a bulk-loaded
+#: relation row by row would bloat the log past the snapshot it implies).
+RELOAD_SNAPSHOT_THRESHOLD = 10_000
+
+
+def _crc(payload: bytes) -> str:
+    """The 8-hex-digit CRC32 framing every record."""
+    return f"{zlib.crc32(payload) & 0xFFFFFFFF:08x}"
+
+
+class WalRecord:
+    """One parsed log record: a committed batch of events plus stamps."""
+
+    __slots__ = ("lsn", "events", "stamps", "offset")
+
+    def __init__(self, lsn: int, events: list, stamps: dict, offset: int) -> None:
+        self.lsn = lsn
+        self.events = events
+        self.stamps = stamps
+        self.offset = offset
+
+    def as_dict(self) -> dict:
+        """A JSON-friendly rendering (used by ``dbk log``)."""
+        return {
+            "lsn": self.lsn,
+            "offset": self.offset,
+            "events": len(self.events),
+            "stamps": self.stamps,
+        }
+
+
+class DurableLog:
+    """The on-disk write-ahead log and snapshot of one durable directory.
+
+    ``crash_hook`` is the fault-injection seam: when set, it is called
+    with a stage name at every durability-critical point (see
+    ``tests/faultinject/test_crash_recovery.py``); a hook that raises
+    simulates a crash at exactly that stage.  Stages:
+
+    - ``append:before`` — nothing written yet;
+    - ``append:mid`` — half the record's bytes written (a torn record);
+    - ``append:written`` — all bytes written, not yet fsynced;
+    - ``append:synced`` — record durable, ack not yet returned;
+    - ``snapshot:staged`` — snapshot temp file written, not yet renamed;
+    - ``snapshot:replaced`` — snapshot durable, log not yet truncated.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = os.path.abspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.log_path = os.path.join(self.directory, LOG_NAME)
+        self.snapshot_path = os.path.join(self.directory, SNAPSHOT_NAME)
+        self.crash_hook: Callable[[str], None] | None = None
+        self._handle = None
+        self.last_lsn = 0
+        self.records_since_snapshot = 0
+        snapshot_lsn, _ = self.snapshot_header()
+        self.last_lsn = snapshot_lsn
+        for record in self.records():
+            self.last_lsn = max(self.last_lsn, record.lsn)
+            self.records_since_snapshot += 1
+
+    # -- log reading ----------------------------------------------------------------
+
+    def exists(self) -> bool:
+        """Whether the directory holds any durable state at all."""
+        return os.path.exists(self.log_path) or os.path.exists(self.snapshot_path)
+
+    def records(self) -> list[WalRecord]:
+        """Every intact record, oldest first; stops at the first torn one.
+
+        Use :meth:`scan` to learn *where* the log tore.
+        """
+        return self.scan()[0]
+
+    def scan(self) -> tuple[list[WalRecord], int | None, str | None]:
+        """Parse the log: ``(records, torn_offset, torn_reason)``.
+
+        ``torn_offset`` is the byte offset of the first record that fails
+        its frame (truncated line, checksum mismatch, unparsable body) —
+        everything from there on is unreliable, matching standard WAL
+        semantics — or ``None`` for a clean log.
+        """
+        records: list[WalRecord] = []
+        if not os.path.exists(self.log_path):
+            return records, None, None
+        with open(self.log_path, "rb") as handle:
+            data = handle.read()
+        if not data:
+            return records, None, None
+        offset = 0
+        newline = data.find(b"\n")
+        if newline < 0:
+            return records, 0, "truncated header"
+        header = data[:newline].decode("utf-8", "replace")
+        if header != LOG_FORMAT:
+            return records, 0, f"not a {LOG_FORMAT} log (header {header!r})"
+        offset = newline + 1
+        while offset < len(data):
+            newline = data.find(b"\n", offset)
+            if newline < 0:
+                return records, offset, "truncated record (no terminator)"
+            line = data[offset:newline]
+            parsed, reason = self._parse_record(line, offset)
+            if parsed is None:
+                return records, offset, reason
+            records.append(parsed)
+            offset = newline + 1
+        return records, None, None
+
+    @staticmethod
+    def _parse_record(line: bytes, offset: int) -> tuple[WalRecord | None, str | None]:
+        if b" " not in line:
+            return None, "unframed record (no checksum field)"
+        frame, body = line.split(b" ", 1)
+        if frame.decode("ascii", "replace") != _crc(body):
+            return None, "checksum mismatch"
+        try:
+            payload = json.loads(body)
+        except ValueError:
+            return None, "unparsable record body"
+        if not isinstance(payload, dict) or "lsn" not in payload:
+            return None, "record body is not a commit object"
+        return (
+            WalRecord(
+                int(payload["lsn"]),
+                list(payload.get("events", ())),
+                dict(payload.get("stamps", {})),
+                offset,
+            ),
+            None,
+        )
+
+    # -- log writing ----------------------------------------------------------------
+
+    def _hook(self, stage: str) -> None:
+        if self.crash_hook is not None:
+            self.crash_hook(stage)
+
+    def _open_for_append(self):
+        if self._handle is None:
+            fresh = not os.path.exists(self.log_path) or (
+                os.path.getsize(self.log_path) == 0
+            )
+            self._handle = open(self.log_path, "ab")
+            if fresh:
+                self._handle.write(f"{LOG_FORMAT}\n".encode())
+                self._handle.flush()
+        return self._handle
+
+    def append(self, events: list, stamps: dict) -> int:
+        """Durably append one commit; returns its LSN.
+
+        The record is flushed and fsynced before the method returns — an
+        ack means the commit survives a crash.  One commit, one record:
+        a torn write is dropped whole by recovery, so no reader ever sees
+        a half-applied transaction.
+        """
+        lsn = self.last_lsn + 1
+        body = json.dumps(
+            {"lsn": lsn, "events": events, "stamps": stamps},
+            separators=(",", ":"), sort_keys=True,
+        ).encode()
+        line = _crc(body).encode() + b" " + body + b"\n"
+        handle = self._open_for_append()
+        self._hook("append:before")
+        half = len(line) // 2
+        handle.write(line[:half])
+        handle.flush()
+        self._hook("append:mid")
+        handle.write(line[half:])
+        handle.flush()
+        self._hook("append:written")
+        os.fsync(handle.fileno())
+        self._hook("append:synced")
+        self.last_lsn = lsn
+        self.records_since_snapshot += 1
+        return lsn
+
+    def close(self) -> None:
+        """Release the append handle (records stay on disk)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def truncate_at(self, offset: int) -> int:
+        """Cut the log at *offset* (drop a torn tail); returns bytes dropped.
+
+        The truncation is fsynced: a recovered log never resurrects the
+        torn bytes.
+        """
+        self.close()
+        size = os.path.getsize(self.log_path)
+        with open(self.log_path, "r+b") as handle:
+            handle.truncate(offset)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return size - offset
+
+    # -- snapshots --------------------------------------------------------------------
+
+    def snapshot_header(self) -> tuple[int, dict]:
+        """The current snapshot's ``(wal_lsn, stamps)`` — zeros if absent."""
+        if not os.path.exists(self.snapshot_path):
+            return 0, {}
+        try:
+            with open(self.snapshot_path) as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            return 0, {}
+        if not isinstance(document, dict):
+            return 0, {}
+        return int(document.get("wal_lsn", 0)), dict(document.get("stamps", {}))
+
+    def snapshot(self, kb: "KnowledgeBase") -> int:
+        """Write a full snapshot covering the log so far, then truncate it.
+
+        The snapshot document is the :func:`~repro.catalog.persist.save_kb`
+        payload plus the covered LSN, a payload checksum, and the version
+        stamps — staged, fsynced, and renamed atomically.  Only after the
+        snapshot is durable is the log reset; a crash between the two
+        leaves superseded records behind, which recovery skips by LSN.
+        """
+        from repro.catalog.persist import fsync_directory, kb_to_dict
+
+        payload = json.dumps(kb_to_dict(kb), sort_keys=True, separators=(",", ":"))
+        document = {
+            "format": SNAPSHOT_FORMAT,
+            "wal_lsn": self.last_lsn,
+            "crc": _crc(payload.encode()),
+            "stamps": collect_stamps(kb),
+            "kb": json.loads(payload),
+        }
+        staged = self.snapshot_path + ".tmp"
+        try:
+            with open(staged, "w") as handle:
+                json.dump(document, handle, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._hook("snapshot:staged")
+            os.replace(staged, self.snapshot_path)
+            fsync_directory(self.directory)
+        except BaseException:
+            try:
+                os.unlink(staged)
+            except OSError:
+                pass
+            raise
+        self._hook("snapshot:replaced")
+        self.close()
+        with open(self.log_path, "wb") as handle:
+            handle.write(f"{LOG_FORMAT}\n".encode())
+            handle.flush()
+            os.fsync(handle.fileno())
+        self.records_since_snapshot = 0
+        return self.last_lsn
+
+
+def collect_stamps(kb: "KnowledgeBase") -> dict:
+    """Post-commit version stamps: the log's consistency fingerprint.
+
+    Replay re-executes mutations, so raw :attr:`Relation.version` counters
+    are not reproducible (rollbacks bump them without being logged); the
+    verifiable vector is the per-relation row counts plus catalog totals.
+    The monotone ``rules_version``/``constraints_version`` counters ride
+    along as diagnostics.
+    """
+    return {
+        "facts": kb.fact_count(),
+        "rules": kb.rule_count(),
+        "constraints": len(kb.constraints()),
+        "relations": {name: len(kb.relation(name)) for name in kb.edb_predicates()},
+        "rules_version": kb.rules_version,
+        "constraints_version": kb.constraints_version,
+    }
+
+
+class Durability:
+    """Binds a live knowledge base to its :class:`DurableLog`.
+
+    The binding keeps a mirror of the *durable* state — per-relation
+    versions, schema names, rule and constraint counts as of the last
+    acknowledged record — and turns the gap between mirror and live state
+    into an event batch at each commit.  See the module docstring for why
+    diff-at-commit is the right capture point.
+    """
+
+    def __init__(
+        self,
+        log: DurableLog,
+        kb: "KnowledgeBase",
+        snapshot_every: int | None = DEFAULT_SNAPSHOT_EVERY,
+    ) -> None:
+        self.log = log
+        self.kb = kb
+        #: Fold the log into a snapshot after this many records
+        #: (``None`` disables automatic snapshots).
+        self.snapshot_every = snapshot_every
+        self._versions: dict[str, int] = {}
+        self._schemas: set[str] = set()
+        self._rule_count = 0
+        self._constraint_count = 0
+        self.refresh_mirror()
+
+    def refresh_mirror(self) -> None:
+        """Declare the live state durable (after a snapshot or recovery)."""
+        kb = self.kb
+        self._versions = {
+            name: kb.relation(name).version for name in kb.edb_predicates()
+        }
+        self._schemas = set(kb._schemas)
+        self._rule_count = kb.rule_count()
+        self._constraint_count = len(kb.constraints())
+
+    def collect(self) -> tuple[list, int]:
+        """The events between the durable mirror and the live state.
+
+        Returns ``(events, reload_rows)`` where ``reload_rows`` counts
+        rows carried by wholesale ``reload`` events (journal gaps), so
+        :meth:`commit` can fold oversized batches into a snapshot.
+        """
+        kb = self.kb
+        events: list = []
+        for name, schema in kb._schemas.items():
+            if name in self._schemas:
+                continue
+            kind = "edb" if kb.is_edb(name) else "idb"
+            attributes = list(schema.attributes) if schema.attributes else None
+            events.append([kind, name, schema.arity, attributes])
+        reload_rows = 0
+        for name in kb.edb_predicates():
+            relation = kb.relation(name)
+            # A relation declared this commit starts at version 0 with its
+            # whole history in the journal, so the default base replays it
+            # row by row in insertion order.
+            durable = self._versions.get(name, 0)
+            if durable == relation.version:
+                continue
+            changes = relation.changes_since(durable)
+            if changes is None:
+                rows = [[c.value for c in row] for row in relation.rows()]
+                reload_rows += len(rows)
+                events.append(["reload", name, rows])
+            else:
+                for op, row in changes:
+                    events.append([op, name, [c.value for c in row]])
+        if kb.rule_count() < self._rule_count or len(kb.constraints()) < self._constraint_count:
+            raise WalError(
+                "knowledge base shrank below its durable mirror; "
+                "snapshot required (rules/constraints are append-only in the log)"
+            )
+        for rule in kb.rules()[self._rule_count:]:
+            events.append(["rule", str(rule)])
+        for constraint in kb.constraints()[self._constraint_count:]:
+            events.append(["constraint", str(constraint)])
+        return events, reload_rows
+
+    def commit(self) -> int | None:
+        """Make everything committed in memory durable; returns the LSN.
+
+        Called by :meth:`KBTransaction.commit
+        <repro.catalog.transaction.KBTransaction.commit>` and by each
+        mutation outside a transaction.  No-op (``None``) when the live
+        state already matches the mirror.  The append fsyncs before
+        returning — a caller that gets an LSN back holds a durable commit;
+        a caller that sees an exception must treat the commit as not
+        durable (the in-memory mutation stands, and the next successful
+        commit re-captures it).
+        """
+        try:
+            events, reload_rows = self.collect()
+        except WalError:
+            self.snapshot()
+            return self.log.last_lsn
+        if not events:
+            return None
+        if reload_rows > RELOAD_SNAPSHOT_THRESHOLD:
+            # The batch would re-log a bulk load row by row; a snapshot is
+            # both smaller and faster to recover from.
+            self.snapshot()
+            return self.log.last_lsn
+        lsn = self.log.append(events, collect_stamps(self.kb))
+        self.refresh_mirror()
+        if (
+            self.snapshot_every is not None
+            and self.log.records_since_snapshot >= self.snapshot_every
+        ):
+            self.snapshot()
+        return lsn
+
+    def snapshot(self) -> int:
+        """Fold the log into a fresh snapshot of the live state."""
+        lsn = self.log.snapshot(self.kb)
+        self.refresh_mirror()
+        return lsn
+
+
+def open_durable(
+    directory: str,
+    kb: "KnowledgeBase | None" = None,
+    snapshot_every: int | None = DEFAULT_SNAPSHOT_EVERY,
+    tracer=None,
+) -> "KnowledgeBase":
+    """Open (recovering) or create a durable knowledge base in *directory*.
+
+    With existing durable state, *kb* must be ``None``: the knowledge base
+    is reconstructed by staged recovery (snapshot + log replay, torn tail
+    truncated, result verified) and re-attached.  Otherwise the given (or
+    a fresh) knowledge base is attached and an initial snapshot written.
+    """
+    from repro.catalog.database import KnowledgeBase
+    from repro.catalog.recovery import Recoverer
+
+    log = DurableLog(directory)
+    if log.exists() and (os.path.exists(log.snapshot_path) or log.records()):
+        if kb is not None:
+            raise WalError(
+                f"{directory} already holds a durable knowledge base; "
+                "open it without passing kb="
+            )
+        log.close()
+        report = Recoverer(directory, tracer=tracer).recover()
+        recovered = report.kb
+        durability = Durability(
+            DurableLog(directory), recovered, snapshot_every=snapshot_every
+        )
+        recovered._durability = durability
+        return recovered
+    target = kb if kb is not None else KnowledgeBase("durable")
+    durability = Durability(log, target, snapshot_every=snapshot_every)
+    durability.snapshot()
+    target._durability = durability
+    return target

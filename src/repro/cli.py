@@ -35,6 +35,17 @@ and reports source-located diagnostics; see ``docs/LINT.md``.  Exit codes:
 0 — no findings at or above the ``--fail-on`` threshold (default
 ``error``); 1 — findings at/above the threshold; 2 — a file could not be
 read.  ``--json`` emits the stable machine-readable report for CI gates.
+
+Durability (``docs/ROBUSTNESS.md``, "Durability & recovery")::
+
+    dbk --durable DIR            # crash-safe shell: WAL + snapshots in DIR
+    dbk snapshot DIR             # fold the log into a fresh snapshot
+    dbk recover DIR              # staged recovery report (--json for CI)
+    dbk log DIR                  # list the write-ahead log's records
+
+I/O and checksum failures anywhere on the durable path are reported as
+source-located ``error:`` messages with exit code 2 (the ``dbk lint``
+convention), never bare tracebacks.
 """
 
 from __future__ import annotations
@@ -274,6 +285,108 @@ def run_retrieve(args: argparse.Namespace, out=None) -> int:
     return 0
 
 
+def run_snapshot(args: argparse.Namespace, out=None) -> int:
+    """``dbk snapshot``: fold a durable directory's log into a snapshot."""
+    import os
+
+    from repro.catalog.wal import open_durable
+    from repro.errors import RecoveryError
+
+    out = out if out is not None else sys.stdout
+    if not (
+        os.path.exists(os.path.join(args.directory, "wal.log"))
+        or os.path.exists(os.path.join(args.directory, "snapshot.json"))
+    ):
+        raise RecoveryError(
+            "no durable knowledge base found (neither snapshot nor log)",
+            path=args.directory,
+        )
+    kb = open_durable(args.directory)
+    records_folded = kb.durability.log.records_since_snapshot
+    lsn = kb.durability.snapshot()
+    print(
+        f"snapshot written at lsn {lsn} ({records_folded} log records folded, "
+        f"{kb.fact_count()} facts, {kb.rule_count()} rules)",
+        file=out,
+    )
+    return 0
+
+
+def run_recover(args: argparse.Namespace, out=None) -> int:
+    """``dbk recover``: staged recovery of a durable directory, reported."""
+    from repro.catalog.recovery import Recoverer
+
+    out = out if out is not None else sys.stdout
+    recoverer = Recoverer(args.directory)
+    report = recoverer.recover(repair=not args.no_repair)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True), file=out)
+        return 0
+    print(f"recovery states: {' -> '.join(report.states)}", file=out)
+    print(f"snapshot lsn: {report.snapshot_lsn}", file=out)
+    print(
+        f"log replay: {report.records_replayed} records, "
+        f"{report.events_applied} events",
+        file=out,
+    )
+    if report.torn_reason is not None:
+        action = "dropped" if not args.no_repair else "left in place"
+        print(
+            f"torn tail: {report.torn_reason} "
+            f"({report.torn_bytes_dropped} bytes {action})",
+            file=out,
+        )
+    kb = report.kb
+    print(
+        f"recovered: {kb.fact_count()} facts, {kb.rule_count()} rules, "
+        f"{len(kb.constraints())} constraints "
+        f"({'verified' if report.verified else 'unverified'})",
+        file=out,
+    )
+    return 0
+
+
+def run_log(args: argparse.Namespace, out=None) -> int:
+    """``dbk log``: list the write-ahead log's records."""
+    from repro.catalog.wal import DurableLog
+    from repro.errors import RecoveryError
+
+    out = out if out is not None else sys.stdout
+    log = DurableLog(args.directory)
+    try:
+        if not log.exists():
+            raise RecoveryError(
+                "no durable knowledge base found", path=args.directory
+            )
+        snapshot_lsn, _ = log.snapshot_header()
+        records, torn_offset, torn_reason = log.scan()
+    finally:
+        log.close()
+    if args.tail:
+        records = records[-args.tail:]
+    if args.json:
+        payload = {
+            "snapshot_lsn": snapshot_lsn,
+            "records": [record.as_dict() for record in records],
+            "torn_offset": torn_offset,
+            "torn_reason": torn_reason,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+        return 0
+    print(f"snapshot covers lsn <= {snapshot_lsn}", file=out)
+    for record in records:
+        stamps = record.stamps
+        print(
+            f"lsn {record.lsn:6d}  {len(record.events):4d} events  "
+            f"facts={stamps.get('facts', '?')} rules={stamps.get('rules', '?')} "
+            f"constraints={stamps.get('constraints', '?')}",
+            file=out,
+        )
+    if torn_offset is not None:
+        print(f"torn tail at byte {torn_offset}: {torn_reason}", file=out)
+    return 0
+
+
 def run_lint(args: argparse.Namespace, out=None, err=None) -> int:
     """``dbk lint``: static analysis over definition files (CI-gradable)."""
     from repro.analysis.analyzer import analyze_source
@@ -462,6 +575,46 @@ def main(argv: list[str] | None = None) -> int:
             help="suppress a diagnostic code, e.g. KB503 (repeatable)",
         )
         return run_lint(lint_parser.parse_args(argv[1:]))
+    if argv and argv[0] in ("snapshot", "recover", "log"):
+        command = argv[0]
+        descriptions = {
+            "snapshot": "fold a durable knowledge base's write-ahead log "
+            "into a fresh snapshot",
+            "recover": "recover a durable knowledge base (staged: "
+            "inspecting -> loading_snapshot -> replaying_log -> verified) "
+            "and report what happened",
+            "log": "list the write-ahead log's committed records",
+        }
+        wal_parser = argparse.ArgumentParser(
+            prog=f"dbk {command}", description=descriptions[command]
+        )
+        wal_parser.add_argument(
+            "directory", metavar="DIR",
+            help="durable knowledge-base directory (wal.log + snapshot.json)",
+        )
+        if command in ("recover", "log"):
+            wal_parser.add_argument(
+                "--json", action="store_true",
+                help="emit machine-readable JSON",
+            )
+        if command == "recover":
+            wal_parser.add_argument(
+                "--no-repair", action="store_true",
+                help="leave a torn log tail on disk instead of truncating it",
+            )
+        if command == "log":
+            wal_parser.add_argument(
+                "--tail", type=int, metavar="N",
+                help="show only the last N records",
+            )
+        runner = {
+            "snapshot": run_snapshot, "recover": run_recover, "log": run_log,
+        }[command]
+        try:
+            return runner(wal_parser.parse_args(argv[1:]))
+        except (OSError, ReproError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     if argv and argv[0] in ("explain", "profile", "retrieve"):
         command = argv[0]
         descriptions = {
@@ -544,6 +697,11 @@ def main(argv: list[str] | None = None) -> int:
         "--no-cache", action="store_true",
         help="disable the materialized view cache (every query recomputes)",
     )
+    parser.add_argument(
+        "--durable", metavar="DIR",
+        help="crash-safe persistence: write-ahead log and snapshots in DIR "
+        "(an existing DIR is recovered on startup)",
+    )
     args = parser.parse_args(argv)
 
     guard = None
@@ -556,14 +714,21 @@ def main(argv: list[str] | None = None) -> int:
             )
         except ValueError as error:
             parser.error(str(error))
-    session = Session(
-        _build_kb(args), engine=args.engine, style=args.style, guard=guard,
-        cache=not args.no_cache,
-    )
-    if args.load:
-        with open(args.load) as handle:
-            count = session.load(handle.read())
-        print(f"loaded {count} definitions from {args.load}")
+    # With --durable, an existing directory is recovered and must not be
+    # seeded; pass a kb only when the user asked for a bundled dataset.
+    kb = _build_kb(args) if (args.durable is None or args.dataset) else None
+    try:
+        session = Session(
+            kb, engine=args.engine, style=args.style, guard=guard,
+            cache=not args.no_cache, durable=args.durable,
+        )
+        if args.load:
+            with open(args.load) as handle:
+                count = session.load(handle.read())
+            print(f"loaded {count} definitions from {args.load}")
+    except (OSError, ReproError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     run_repl(session)
     return 0
 

@@ -442,7 +442,13 @@ class ViewCache:
                 continue
             changes = relation.changes_since(cached_version)
             if changes is None:
-                return False  # journal gap (restore/clear or window overrun)
+                # Journal gap (restore/clear or window overrun): the repair
+                # cannot reconstruct the delta.  Count the fallback so the
+                # full recompute that follows is diagnosable (see
+                # Relation.journal_resets and Session.cache_stats).
+                if tracer is not None:
+                    tracer.count("journal_reset_fallbacks")
+                return False
             add, remove = _net_delta(changes)
             total += len(add) + len(remove)
             if total > self.incremental_threshold:

@@ -48,6 +48,59 @@ class IntegrityError(CatalogError):
     """A stored fact violates a declared integrity constraint."""
 
 
+class WalError(CatalogError):
+    """The durable write-ahead log could not be written or parsed."""
+
+
+class RecoveryError(CatalogError):
+    """Crash recovery of a durable knowledge base failed.
+
+    Raised when the snapshot or write-ahead log is unreadable, fails its
+    checksum, or replay does not verify against the log's final version
+    stamps.  Structured fields locate the failure on disk so the ``dbk``
+    CLI can report it like any other source-located diagnostic:
+
+    ``path``
+        the file that failed (snapshot or log), when known;
+    ``offset``
+        byte offset of the failing record in that file, when known;
+    ``state``
+        the :class:`~repro.catalog.recovery.Recoverer` state at failure
+        time (``"inspecting"``, ``"loading_snapshot"``, ...).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | None = None,
+        offset: int | None = None,
+        state: str | None = None,
+    ) -> None:
+        located = message
+        if path is not None:
+            where = path if offset is None else f"{path}:{offset}"
+            located = f"{where}: {message}"
+        super().__init__(located)
+        self.path = path
+        self.offset = offset
+        self.state = state
+
+    def __reduce__(self):
+        # Keyword-only fields need explicit pickle support (cf.
+        # ResourceExhausted): rebuild from the located message, then
+        # restore the instance dict.
+        return (_rebuild_recovery_error, (str(self), self.__dict__.copy()))
+
+
+def _rebuild_recovery_error(message: str, fields: dict) -> "RecoveryError":
+    """Unpickle helper: the located message must not be re-prefixed."""
+    error = RecoveryError.__new__(RecoveryError)
+    Exception.__init__(error, message)
+    error.__dict__.update(fields)
+    return error
+
+
 class LanguageError(ReproError):
     """Errors raised by the lexer/parser for the query language."""
 

@@ -139,6 +139,14 @@ class Session:
     :attr:`last_trace` — annotated with the guard's consumed budgets and
     the :class:`~repro.engine.viewcache.CacheStats` delta, so the trace,
     the guard diagnostics, and the cache counters reconcile.
+
+    ``durable`` opts the session into crash-safe persistence: the path
+    names a directory holding a write-ahead log and snapshots
+    (:mod:`repro.catalog.wal`).  An existing durable directory is
+    recovered on open (``kb`` must be omitted); an empty or missing one
+    adopts the given (or a fresh) knowledge base and starts logging.
+    Every committed mutation is fsynced to the log before the mutating
+    call returns; see ``docs/ROBUSTNESS.md`` ("Durability & recovery").
     """
 
     def __init__(
@@ -153,8 +161,18 @@ class Session:
         lint: str = "warn",
         trace: "Tracer | bool | None" = False,
         plan_cache: bool = True,
+        durable: str | None = None,
     ) -> None:
-        self.kb = kb if kb is not None else KnowledgeBase()
+        if durable is not None:
+            from repro.catalog.wal import open_durable
+
+            # An existing durable directory is recovered (kb= must be
+            # omitted); an empty one adopts the given or a fresh KB and
+            # starts logging with an initial snapshot.
+            tracer_arg = trace if isinstance(trace, Tracer) else None
+            self.kb = open_durable(durable, kb=kb, tracer=tracer_arg)
+        else:
+            self.kb = kb if kb is not None else KnowledgeBase()
         self.engine = engine
         self.style = style
         self.config = config
@@ -387,10 +405,21 @@ class Session:
 
         ``{"enabled": False}`` when the session runs uncached; otherwise the
         :class:`~repro.engine.viewcache.CacheStats` counters plus hit rate.
+        ``journal_resets`` (always present) totals the per-relation
+        :attr:`~repro.catalog.relation.Relation.journal_resets` counters:
+        each reset strands incremental consumers, so a rising value
+        explains view-cache full-recompute fallbacks after bulk mutations.
         """
+        journal_resets = sum(
+            relation.journal_resets for relation in self.kb._relations.values()
+        )
         if self.cache is None:
-            return {"enabled": False}
-        return {"enabled": True, **self.cache.stats.as_dict()}
+            return {"enabled": False, "journal_resets": journal_resets}
+        return {
+            "enabled": True,
+            "journal_resets": journal_resets,
+            **self.cache.stats.as_dict(),
+        }
 
     # -- describe dispatch ------------------------------------------------------------
 

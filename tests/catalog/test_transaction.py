@@ -206,3 +206,121 @@ class TestArityErrorStillEager:
         with pytest.raises(ArityError):
             kb.add_fact("parent", "only-one")
         assert len(kb.facts("parent")) == 2
+
+
+class TestTransactionEdgeCases:
+    def test_rollback_after_partial_multi_relation_touch(self):
+        """A span that touched some relations (not all) restores exactly."""
+        kb = small_kb()
+        kb.declare_edb("employee", 2)
+        kb.add_fact("employee", "eve", "sales")
+        kb.declare_edb("untouched", 1)
+        kb.add_fact("untouched", "keep")
+        before = state(kb)
+        untouched_version = kb.relation("untouched").version
+        with pytest.raises(RuntimeError):
+            with kb.transaction():
+                kb.add_fact("parent", "cal", "dan")
+                kb.add_fact("employee", "fay", "dev")
+                kb.declare_edb("fresh", 1)
+                kb.add_fact("fresh", "gone")
+                raise RuntimeError("boom")
+        assert state(kb) == before
+        assert "fresh" not in kb.edb_predicates()
+        # Relations never touched inside the span are not even restored.
+        assert kb.relation("untouched").version == untouched_version
+
+    def test_commit_with_zero_mutations_is_a_noop(self):
+        kb = small_kb()
+        before = state(kb)
+        rules_version = kb._rules_version
+        parent_version = kb.relation("parent").version
+        with kb.transaction():
+            pass
+        assert state(kb) == before
+        assert kb._rules_version == rules_version
+        assert kb.relation("parent").version == parent_version
+
+    def test_empty_commit_appends_no_wal_record(self, tmp_path):
+        from repro.catalog.wal import open_durable
+
+        kb = open_durable(str(tmp_path / "dur"))
+        kb.declare_edb("p", 1)
+        lsn = kb.durability.log.last_lsn
+        with kb.transaction():
+            pass
+        assert kb.durability.log.last_lsn == lsn
+
+    def test_exception_during_commit_leaves_versions_unchanged(self, tmp_path, monkeypatch):
+        """A failed durable append must not bump catalog version counters."""
+        from repro.catalog.wal import Durability, open_durable
+
+        kb = open_durable(str(tmp_path / "dur"))
+        kb.declare_edb("p", 1)
+        kb.add_fact("p", "a")
+        rules_version = kb._rules_version
+        constraints_version = kb._constraints_version
+        relation_version = kb.relation("p").version
+
+        def explode(self):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(Durability, "commit", explode)
+        with pytest.raises(OSError):
+            with kb.transaction():
+                kb.add_fact("p", "b")
+        # The in-memory mutation stands (commit already cleared the staged
+        # snapshots), but no rollback-style version churn happened.
+        assert len(kb.facts("p")) == 2
+        assert kb._rules_version == rules_version
+        assert kb._constraints_version == constraints_version
+        assert kb.relation("p").version == relation_version + 1  # one insert
+
+
+class TestAtomicWriterFsync:
+    def test_atomic_write_fsyncs_temp_file_and_directory(self, tmp_path, monkeypatch):
+        import repro.catalog.persist as persist
+
+        synced_fds: list[int] = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            synced_fds.append(fd)
+            real_fsync(fd)
+
+        monkeypatch.setattr(persist.os, "fsync", recording_fsync)
+        kb = small_kb()
+        save_kb(kb, str(tmp_path / "kb.json"))
+        # One fsync for the staged temp file, one for the parent directory.
+        assert len(synced_fds) >= 2
+
+    def test_failed_write_cleans_up_staged_temp(self, tmp_path, monkeypatch):
+        import repro.catalog.persist as persist
+
+        def explode(fd):
+            raise OSError("simulated fsync failure")
+
+        monkeypatch.setattr(persist.os, "fsync", explode)
+        with pytest.raises(OSError):
+            save_kb(small_kb(), str(tmp_path / "kb.json"))
+        assert [n for n in os.listdir(tmp_path) if n.endswith(".tmp")] == []
+        assert not (tmp_path / "kb.json").exists()
+
+
+class TestJournalResetExposure:
+    def test_clear_increments_journal_resets(self):
+        relation = Relation(1, [("a",), ("b",)])
+        assert relation.journal_resets == 0
+        relation.clear()
+        assert relation.journal_resets == 1
+
+    def test_session_cache_stats_reports_journal_resets(self):
+        session = Session(small_kb())
+        assert session.cache_stats()["journal_resets"] == 0
+        session.kb.relation("parent").clear()
+        assert session.cache_stats()["journal_resets"] == 1
+
+    def test_cache_stats_reports_resets_even_when_cache_disabled(self):
+        session = Session(small_kb(), cache=False)
+        stats = session.cache_stats()
+        assert "journal_resets" in stats

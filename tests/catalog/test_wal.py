@@ -1,0 +1,334 @@
+"""The durable write-ahead log: framing, fsync-before-ack, snapshots."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.catalog import KnowledgeBase, open_durable
+from repro.catalog.wal import (
+    DEFAULT_SNAPSHOT_EVERY,
+    LOG_FORMAT,
+    DurableLog,
+    collect_stamps,
+)
+from repro.errors import WalError
+from repro.lang.parser import parse_body, parse_rule
+from repro.logic.clauses import IntegrityConstraint
+
+
+class Crash(BaseException):
+    """Raised by a crash hook: not an Exception, nothing may swallow it."""
+
+
+def crash_at(log: DurableLog, stage: str) -> None:
+    def hook(reached: str) -> None:
+        if reached == stage:
+            raise Crash(stage)
+
+    log.crash_hook = hook
+
+
+class TestDurableLogFraming:
+    def test_fresh_log_starts_with_format_header(self, tmp_path):
+        log = DurableLog(str(tmp_path))
+        log.append([["+", "p", ["a"]]], {})
+        log.close()
+        first = open(log.log_path, "rb").readline().decode().strip()
+        assert first == LOG_FORMAT
+
+    def test_append_scan_roundtrip(self, tmp_path):
+        log = DurableLog(str(tmp_path))
+        lsn1 = log.append([["+", "p", ["a"]]], {"facts": 1})
+        lsn2 = log.append([["+", "p", ["b"]], ["-", "p", ["a"]]], {"facts": 1})
+        log.close()
+        records, torn, reason = DurableLog(str(tmp_path)).scan()
+        assert (torn, reason) == (None, None)
+        assert [r.lsn for r in records] == [lsn1, lsn2] == [1, 2]
+        assert records[0].events == [["+", "p", ["a"]]]
+        assert records[1].stamps == {"facts": 1}
+
+    def test_lsn_resumes_after_reopen(self, tmp_path):
+        log = DurableLog(str(tmp_path))
+        log.append([], {})
+        log.append([], {})
+        log.close()
+        reopened = DurableLog(str(tmp_path))
+        assert reopened.last_lsn == 2
+        assert reopened.append([], {}) == 3
+
+    def test_corrupted_byte_fails_checksum(self, tmp_path):
+        log = DurableLog(str(tmp_path))
+        log.append([["+", "p", ["a"]]], {})
+        offset_of_record = len(f"{LOG_FORMAT}\n".encode())
+        log.append([["+", "p", ["b"]]], {})
+        log.close()
+        data = bytearray(open(log.log_path, "rb").read())
+        data[offset_of_record + 2] ^= 0xFF  # flip a bit inside record 1
+        open(log.log_path, "wb").write(bytes(data))
+        records, torn, reason = DurableLog(str(tmp_path)).scan()
+        assert records == []
+        assert torn == offset_of_record
+        assert reason == "checksum mismatch"
+
+    def test_truncated_tail_is_reported_not_parsed(self, tmp_path):
+        log = DurableLog(str(tmp_path))
+        log.append([["+", "p", ["a"]]], {})
+        log.append([["+", "p", ["b"]]], {})
+        log.close()
+        data = open(log.log_path, "rb").read()
+        open(log.log_path, "wb").write(data[:-5])  # tear the last record
+        records, torn, reason = DurableLog(str(tmp_path)).scan()
+        assert [r.lsn for r in records] == [1]
+        assert torn is not None and reason == "truncated record (no terminator)"
+
+    def test_truncate_at_drops_the_tail_permanently(self, tmp_path):
+        log = DurableLog(str(tmp_path))
+        log.append([["+", "p", ["a"]]], {})
+        log.close()
+        data = open(log.log_path, "rb").read()
+        open(log.log_path, "ab").write(b"garbage tail with no frame")
+        reopened = DurableLog(str(tmp_path))
+        records, torn, _ = reopened.scan()
+        dropped = reopened.truncate_at(torn)
+        assert dropped == len(b"garbage tail with no frame")
+        assert open(log.log_path, "rb").read() == data
+        assert DurableLog(str(tmp_path)).scan()[1] is None
+
+    def test_foreign_file_is_not_a_log(self, tmp_path):
+        (tmp_path / "wal.log").write_text("definitely not a wal\n")
+        records, torn, reason = DurableLog(str(tmp_path)).scan()
+        assert records == [] and torn == 0
+        assert "not a repro-wal/1 log" in reason
+
+
+class TestCrashHooks:
+    def test_crash_mid_append_leaves_a_torn_record(self, tmp_path):
+        log = DurableLog(str(tmp_path))
+        log.append([["+", "p", ["a"]]], {})
+        crash_at(log, "append:mid")
+        with pytest.raises(Crash):
+            log.append([["+", "p", ["b"]]], {})
+        log.close()
+        records, torn, _ = DurableLog(str(tmp_path)).scan()
+        assert [r.lsn for r in records] == [1]
+        assert torn is not None
+
+    def test_crash_before_append_writes_nothing(self, tmp_path):
+        log = DurableLog(str(tmp_path))
+        log.append([["+", "p", ["a"]]], {})
+        size = os.path.getsize(log.log_path)
+        crash_at(log, "append:before")
+        with pytest.raises(Crash):
+            log.append([["+", "p", ["b"]]], {})
+        log.close()
+        assert os.path.getsize(log.log_path) == size
+
+    def test_crash_after_sync_preserves_the_record(self, tmp_path):
+        log = DurableLog(str(tmp_path))
+        crash_at(log, "append:synced")
+        with pytest.raises(Crash):
+            log.append([["+", "p", ["a"]]], {})
+        log.close()
+        records, torn, _ = DurableLog(str(tmp_path)).scan()
+        assert [r.lsn for r in records] == [1] and torn is None
+
+
+class TestSnapshots:
+    def small_kb(self) -> KnowledgeBase:
+        kb = KnowledgeBase("t")
+        kb.declare_edb("parent", 2)
+        kb.add_fact("parent", "ann", "bob")
+        kb.add_rule(parse_rule("anc(X, Y) <- parent(X, Y)"))
+        return kb
+
+    def test_snapshot_truncates_log_and_records_lsn(self, tmp_path):
+        log = DurableLog(str(tmp_path))
+        log.append([["+", "parent", ["ann", "bob"]]], {})
+        kb = self.small_kb()
+        covered = log.snapshot(kb)
+        assert covered == 1
+        assert log.records() == []
+        assert log.snapshot_header()[0] == 1
+        assert log.snapshot_header()[1]["facts"] == 1
+
+    def test_crash_between_replace_and_truncate_is_harmless(self, tmp_path):
+        """Superseded records left behind are skipped by LSN on replay."""
+        log = DurableLog(str(tmp_path))
+        log.append([["edb", "parent", 2, None]], {})
+        log.append([["+", "parent", ["ann", "bob"]]], {})
+        crash_at(log, "snapshot:replaced")
+        with pytest.raises(Crash):
+            log.snapshot(self.small_kb())
+        log.close()
+        stale = DurableLog(str(tmp_path))
+        assert stale.snapshot_header()[0] == 2  # snapshot is durable
+        assert len(stale.records()) == 2  # log not yet truncated
+        from repro.catalog.recovery import Recoverer
+
+        report = Recoverer(str(tmp_path)).recover()
+        assert report.records_replayed == 0  # both records superseded
+        assert report.kb.fact_count() == 1
+
+    def test_crash_while_staging_leaves_old_snapshot(self, tmp_path):
+        log = DurableLog(str(tmp_path))
+        log.snapshot(self.small_kb())
+        header = log.snapshot_header()
+        crash_at(log, "snapshot:staged")
+        with pytest.raises(Crash):
+            log.snapshot(self.small_kb())
+        log.crash_hook = None
+        assert log.snapshot_header() == header
+        assert not os.path.exists(log.snapshot_path + ".tmp")
+
+
+class TestDurabilityDiffing:
+    def test_one_commit_one_record(self, tmp_path):
+        kb = open_durable(str(tmp_path / "d"))
+        with kb.transaction():
+            kb.declare_edb("p", 1)
+            kb.add_fact("p", "a")
+            kb.add_fact("p", "b")
+            kb.add_rule(parse_rule("q(X) <- p(X)"))
+        records = kb.durability.log.records()
+        assert len(records) == 1
+        kinds = [event[0] for event in records[0].events]
+        assert kinds == ["edb", "idb", "+", "+", "rule"]
+
+    def test_autocommit_outside_transaction(self, tmp_path):
+        kb = open_durable(str(tmp_path / "d"))
+        kb.declare_edb("p", 1)
+        kb.add_fact("p", "a")
+        assert [r.lsn for r in kb.durability.log.records()] == [1, 2]
+
+    def test_add_facts_batches_into_one_record(self, tmp_path):
+        kb = open_durable(str(tmp_path / "d"))
+        kb.declare_edb("p", 1)
+        kb.add_facts("p", [(f"v{i}",) for i in range(20)])
+        records = kb.durability.log.records()
+        assert len(records) == 2  # declare + the whole batch
+        assert len(records[-1].events) == 20
+
+    def test_deletes_are_logged(self, tmp_path):
+        kb = open_durable(str(tmp_path / "d"))
+        kb.declare_edb("p", 1)
+        kb.add_fact("p", "a")
+        with kb.transaction():
+            kb.relation("p").delete(("a",))
+        events = kb.durability.log.records()[-1].events
+        assert ["-", "p", ["a"]] in events
+
+    def test_constraints_are_logged_as_source(self, tmp_path):
+        kb = open_durable(str(tmp_path / "d"))
+        kb.declare_edb("p", 1)
+        kb.add_constraint(IntegrityConstraint(parse_body("p(X) and p(X)")))
+        events = kb.durability.log.records()[-1].events
+        assert events[0][0] == "constraint"
+        assert events[0][1].startswith("not (")
+
+    def test_journal_gap_degrades_to_reload(self, tmp_path):
+        kb = open_durable(str(tmp_path / "d"))
+        kb.declare_edb("p", 1)
+        kb.add_fact("p", "a")
+        kb.add_fact("p", "b")
+        with kb.transaction():
+            kb.relation("p").clear()  # resets the journal
+            kb.relation("p").insert(("c",))
+        events = kb.durability.log.records()[-1].events
+        assert events == [["reload", "p", [["c"]]]]
+
+    def test_oversized_reload_folds_into_snapshot(self, tmp_path, monkeypatch):
+        import repro.catalog.wal as wal
+
+        monkeypatch.setattr(wal, "RELOAD_SNAPSHOT_THRESHOLD", 10)
+        kb = open_durable(str(tmp_path / "d"))
+        kb.declare_edb("p", 1)
+        with kb.transaction():
+            relation = kb.relation("p")
+            relation.clear()
+            for i in range(50):
+                relation.insert((f"v{i}",))
+        log = kb.durability.log
+        assert log.records() == []  # folded into the snapshot, not logged
+        assert log.snapshot_header()[1]["facts"] == 50
+
+    def test_snapshot_every_folds_the_log(self, tmp_path):
+        kb = open_durable(str(tmp_path / "d"), snapshot_every=5)
+        kb.declare_edb("p", 1)
+        for i in range(12):
+            kb.add_fact("p", f"v{i}")
+        log = kb.durability.log
+        assert log.records_since_snapshot < 5
+        assert log.snapshot_header()[0] > 0
+
+    def test_empty_commit_is_skipped(self, tmp_path):
+        kb = open_durable(str(tmp_path / "d"))
+        kb.declare_edb("p", 1)
+        assert kb.durability.commit() is None
+
+    def test_shrunk_catalog_forces_snapshot(self, tmp_path):
+        kb = open_durable(str(tmp_path / "d"))
+        kb.declare_edb("p", 1)
+        kb.add_rule(parse_rule("q(X) <- p(X)"))
+        kb._rules.clear()  # bypasses the transaction layer entirely
+        kb._rules_by_head.clear()
+        kb._rules_version += 1
+        with pytest.raises(WalError):
+            kb.durability.collect()
+        kb.durability.commit()  # degrades to a snapshot instead of failing
+        assert kb.durability.log.snapshot_header()[1]["rules"] == 0
+
+
+class TestOpenDurable:
+    def test_fresh_directory_writes_initial_snapshot(self, tmp_path):
+        kb = open_durable(str(tmp_path / "d"))
+        assert os.path.exists(kb.durability.log.snapshot_path)
+        assert kb.fact_count() == 0
+
+    def test_existing_directory_recovers(self, tmp_path):
+        first = open_durable(str(tmp_path / "d"))
+        first.declare_edb("p", 1)
+        first.add_fact("p", "a")
+        first.durability.log.close()
+        second = open_durable(str(tmp_path / "d"))
+        assert second is not first
+        assert {tuple(c.value for c in row) for row in second.facts("p")} == {("a",)}
+
+    def test_existing_directory_rejects_a_seed_kb(self, tmp_path):
+        open_durable(str(tmp_path / "d")).durability.log.close()
+        with pytest.raises(WalError):
+            open_durable(str(tmp_path / "d"), kb=KnowledgeBase("seed"))
+
+    def test_seed_kb_is_snapshotted_immediately(self, tmp_path):
+        seed = KnowledgeBase("seed")
+        seed.declare_edb("p", 1)
+        seed.add_fact("p", "a")
+        kb = open_durable(str(tmp_path / "d"), kb=seed)
+        assert kb is seed
+        kb.durability.log.close()
+        recovered = open_durable(str(tmp_path / "d"))
+        assert {tuple(c.value for c in row) for row in recovered.facts("p")} == {("a",)}
+
+    def test_default_snapshot_cadence_is_sane(self):
+        assert 1 < DEFAULT_SNAPSHOT_EVERY <= 4096
+
+
+class TestCollectStamps:
+    def test_stamps_cover_counts_and_versions(self):
+        kb = KnowledgeBase("t")
+        kb.declare_edb("p", 1)
+        kb.add_fact("p", "a")
+        kb.add_rule(parse_rule("q(X) <- p(X)"))
+        stamps = collect_stamps(kb)
+        assert stamps["facts"] == 1
+        assert stamps["rules"] == 1
+        assert stamps["relations"] == {"p": 1}
+        assert stamps["rules_version"] == kb.rules_version
+
+    def test_stamps_are_json_serialisable(self):
+        kb = KnowledgeBase("t")
+        kb.declare_edb("p", 2)
+        kb.add_fact("p", "a", 3)
+        json.dumps(collect_stamps(kb))

@@ -165,7 +165,10 @@ class TestSessionIntegration:
         session.query("retrieve path(X, Y)")
         stats = session.cache_stats()
         assert stats["enabled"] and stats["statement_hits"] == 1
-        assert Session(chain_kb(), cache=False).cache_stats() == {"enabled": False}
+        assert Session(chain_kb(), cache=False).cache_stats() == {
+            "enabled": False,
+            "journal_resets": 0,
+        }
 
     def test_shared_cache_must_match_kb(self):
         kb = chain_kb()
