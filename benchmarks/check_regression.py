@@ -10,7 +10,11 @@ gate on in shared CI runners):
 2. **kernel executor** — re-runs the recursive chain/component scenarios
    under all three executors and fails if the kernel's speedup drops below
    the absolute floors: ``KERNEL_MIN_VS_BATCH`` x batch and
-   ``KERNEL_MIN_VS_NESTED`` x nested.
+   ``KERNEL_MIN_VS_NESTED`` x nested;
+3. **columnar pipeline** — re-runs the recursive scenarios at the large
+   tier with the numpy backend off vs on and fails if the median
+   kernel+numpy speedup over kernel-plain drops below
+   ``COLUMNAR_MIN_SPEEDUP`` (skipped when numpy is unavailable).
 
 Usage::
 
@@ -26,7 +30,13 @@ import statistics
 import sys
 from pathlib import Path
 
-from run_benchmarks import TIERS, cache_metrics, durability_metrics, scenarios
+from run_benchmarks import (
+    TIERS,
+    cache_metrics,
+    columnar_metrics,
+    durability_metrics,
+    scenarios,
+)
 
 #: A fresh warm-query speedup below this fraction of the committed one fails.
 THRESHOLD = 0.5
@@ -44,6 +54,12 @@ WAL_MAX_OVERHEAD = 1.25
 
 #: Log-replay floor during recovery, in rows applied per second.
 REPLAY_MIN_ROWS_PER_S = 1_000.0
+
+#: Median kernel+numpy speedup over kernel-plain across the recursive
+#: scenarios at the large tier.  The median, not the min: the chain
+#: scenario is iteration-bound (hundreds of tiny deltas), so its ratio
+#: hovers near 1x by construction while the wide scenarios carry the win.
+COLUMNAR_MIN_SPEEDUP = 1.5
 
 
 def kernel_gate(sizes, repeats: int) -> list[str]:
@@ -95,6 +111,36 @@ def durability_gate(sizes, repeats: int) -> list[str]:
     return failures
 
 
+def columnar_gate() -> list[str]:
+    """Large-tier floor for the vectorized columnar probe pipeline.
+
+    Re-measures the kernel executor with the numpy backend off vs on at
+    the large tier and fails when the median speedup across the recursive
+    scenarios falls below ``COLUMNAR_MIN_SPEEDUP``.  Skips (without
+    failing) when numpy is unavailable — the CI perf job installs numpy,
+    so there the gate always runs.
+    """
+    sizes = TIERS["large"]
+    fresh = columnar_metrics(sizes, sizes["repeats"])
+    if not fresh.get("available"):
+        print(f"{'columnar/vectorized':30s} skipped (numpy unavailable)")
+        return []
+    for name, entry in sorted(fresh["scenarios"].items()):
+        print(
+            f"{name:30s} numpy {entry['speedup']}x scalar kernel "
+            f"({entry['facts']} facts)"
+        )
+    median = fresh["median_speedup"] or 0.0
+    verdict = "ok" if median >= COLUMNAR_MIN_SPEEDUP else "REGRESSION"
+    print(
+        f"{'columnar/median':30s} measured {median:.2f}x  "
+        f"required >= {COLUMNAR_MIN_SPEEDUP:.1f}x  {verdict}"
+    )
+    if median < COLUMNAR_MIN_SPEEDUP:
+        return ["columnar/median"]
+    return []
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -139,13 +185,15 @@ def main(argv=None) -> int:
     failures.extend(kernel_gate(sizes, sizes["repeats"]))
     print()
     failures.extend(durability_gate(sizes, sizes["repeats"]))
+    print()
+    failures.extend(columnar_gate())
 
     if failures:
         print(f"\nperf regression in: {', '.join(failures)}")
         return 1
     print(
-        "\ncache warm-query speedups, kernel floors, and durability "
-        "budgets all within bounds"
+        "\ncache warm-query speedups, kernel floors, durability budgets, "
+        "and columnar floors all within bounds"
     )
     return 0
 

@@ -17,6 +17,11 @@ sessions with the compiled-plan cache on vs off over a point lookup with
 EDB churn between queries — the regime where the statement memo misses
 but compiled plans stay warm.
 
+The ``columnar`` section pairs the kernel executor with the numpy columnar
+backend off vs on over the recursive scenarios at the ``large`` tier's
+sizes (>= 50k derived facts, where whole-column probes have headroom) and
+records the per-scenario and median speedups.
+
 Besides overwriting the current snapshot, every run appends a timestamped
 entry to ``BENCH_history.json`` so the perf trajectory survives across PRs.
 
@@ -51,7 +56,11 @@ from repro.datasets import (
 )
 from repro.lang.parser import parse_atom, parse_body
 
-#: Workload sizes per tier: smoke keeps CI fast, default is the tracked tier.
+#: Workload sizes per tier: smoke keeps CI fast, default is the tracked tier,
+#: large (>= 50k derived facts per recursive scenario) is where columnar
+#: vectorization headroom is visible.  The large tier skips the ``nested``
+#: reference executor — tuple-at-a-time evaluation at these sizes takes
+#: minutes and measures nothing the default tier doesn't already cover.
 TIERS = {
     "smoke": {
         "chain_length": 30,
@@ -70,6 +79,15 @@ TIERS = {
         "graph_edges": 120,
         "students": 400,
         "repeats": 5,
+    },
+    "large": {
+        "chain_length": 400,
+        "components": 40,
+        "component_size": 40,
+        "graph_nodes": 500,
+        "graph_edges": 1000,
+        "students": 400,
+        "repeats": 3,
     },
 }
 
@@ -379,14 +397,77 @@ def durability_metrics(sizes, repeats: int) -> dict:
     }
 
 
+#: The recursive scenarios the columnar (numpy on/off) pairing measures.
+COLUMNAR_SCENARIOS = (
+    "recursive/chain",
+    "recursive/component",
+    "recursive/random_graph",
+)
+
+
+def columnar_metrics(sizes, repeats: int) -> dict:
+    """Kernel-executor pairs with the numpy columnar backend off vs on.
+
+    Each recursive scenario is materialized twice under the kernel
+    executor — scalar probe loops vs the vectorized whole-column pipeline
+    — in the same process, so the speedup ratio is machine-independent.
+    ``median_speedup`` is the median ratio across the scenarios (chain is
+    iteration-bound with tiny deltas, so the median, not the min, is the
+    tracked number).  Returns ``{"available": False}`` when numpy cannot
+    be imported.
+    """
+    from repro.catalog.columnar import backend_override
+    from repro.errors import CatalogError
+
+    try:
+        with backend_override("numpy"):
+            pass
+    except CatalogError:
+        return {"available": False, "scenarios": {}}
+
+    runners = scenarios(sizes)
+    results: dict[str, dict] = {}
+    ratios: list[float] = []
+    for name in COLUMNAR_SCENARIOS:
+        runner = runners[name]
+        medians: dict[str, float] = {}
+        count = 0
+        for backend in ("python", "numpy"):
+            times = []
+            with backend_override(backend):
+                for _ in range(repeats):
+                    elapsed, count = runner("kernel")
+                    times.append(elapsed)
+            medians[backend] = statistics.median(times)
+        speedup = (
+            round(medians["python"] / medians["numpy"], 2)
+            if medians["numpy"] > 0
+            else None
+        )
+        results[name] = {
+            "plain_median_s": round(medians["python"], 6),
+            "numpy_median_s": round(medians["numpy"], 6),
+            "speedup": speedup,
+            "facts": count,
+        }
+        if speedup is not None:
+            ratios.append(speedup)
+    return {
+        "available": True,
+        "scenarios": results,
+        "median_speedup": round(statistics.median(ratios), 2) if ratios else None,
+    }
+
+
 def run_tier(tier: str, repeats: int | None = None) -> dict:
     sizes = TIERS[tier]
     repeats = repeats or sizes["repeats"]
+    executors = [e for e in EXECUTORS if not (tier == "large" and e == "nested")]
     results: dict[str, dict] = {}
     speedups: dict[str, dict[str, float]] = {}
     for name, runner in scenarios(sizes).items():
         medians: dict[str, float] = {}
-        for executor in EXECUTORS:
+        for executor in executors:
             times = []
             count = 0
             for _ in range(repeats):
@@ -399,23 +480,24 @@ def run_tier(tier: str, repeats: int | None = None) -> dict:
                 "executor": executor,
             }
         ratios: dict[str, float] = {}
-        if medians["batch"] > 0:
+        if "nested" in medians and medians["batch"] > 0:
             ratios["batch_vs_nested"] = round(medians["nested"] / medians["batch"], 2)
         if medians["kernel"] > 0:
             ratios["kernel_vs_batch"] = round(medians["batch"] / medians["kernel"], 2)
-            ratios["kernel_vs_nested"] = round(
-                medians["nested"] / medians["kernel"], 2
-            )
+            if "nested" in medians:
+                ratios["kernel_vs_nested"] = round(
+                    medians["nested"] / medians["kernel"], 2
+                )
         if ratios:
             speedups[name] = ratios
     guard_overhead = {}
-    for executor in EXECUTORS:
+    for executor in executors:
         off = results[f"guard_overhead/off[{executor}]"]["median_s"]
         on = results[f"guard_overhead/on[{executor}]"]["median_s"]
         if off > 0:
             guard_overhead[executor] = round(on / off, 3)
     tracer_overhead: dict[str, dict[str, float]] = {}
-    for executor in EXECUTORS:
+    for executor in executors:
         off = results[f"tracer_overhead/off[{executor}]"]["median_s"]
         if off > 0:
             tracer_overhead[executor] = {
@@ -426,12 +508,20 @@ def run_tier(tier: str, repeats: int | None = None) -> dict:
                     results[f"tracer_overhead/on[{executor}]"]["median_s"] / off, 3
                 ),
             }
+    # The columnar pairing needs vectorization headroom to be visible, so
+    # it always measures at the large tier's sizes — except on smoke runs,
+    # which must stay fast and only sanity-check the pairing machinery.
+    columnar_tier = "smoke" if tier == "smoke" else "large"
+    columnar = columnar_metrics(
+        TIERS[columnar_tier], TIERS[columnar_tier]["repeats"]
+    )
+    columnar["tier"] = columnar_tier
     return {
         "meta": {
             "tier": tier,
             "repeats": repeats,
             "unit": "seconds (median wall-time)",
-            "executors": list(EXECUTORS),
+            "executors": executors,
         },
         "scenarios": results,
         "speedups": speedups,
@@ -440,6 +530,7 @@ def run_tier(tier: str, repeats: int | None = None) -> dict:
         "cache": cache_metrics(sizes, repeats),
         "plan_cache": plan_cache_metrics(sizes, repeats),
         "durability": durability_metrics(sizes, repeats),
+        "columnar": columnar,
     }
 
 
@@ -466,6 +557,7 @@ def append_history(report: dict, path: Path) -> None:
             "cache": report["cache"],
             "plan_cache": report["plan_cache"],
             "durability": report["durability"],
+            "columnar": report["columnar"],
         }
     )
     path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
@@ -533,6 +625,17 @@ def main(argv=None) -> int:
         f"{'durability replay':40s} {replay['rows_per_s']} rows/s, "
         f"cold recover {replay['cold_recover_median_s']:.4f}s"
     )
+    columnar = report["columnar"]
+    if columnar.get("available"):
+        for name, entry in sorted(columnar["scenarios"].items()):
+            label = f"columnar {name} [{columnar['tier']}]"
+            print(
+                f"{label:40s} numpy {entry['speedup']}x scalar "
+                f"({entry['facts']} facts)"
+            )
+        print(f"{'columnar median speedup':40s} {columnar['median_speedup']}x")
+    else:
+        print(f"{'columnar':40s} skipped (numpy unavailable)")
     print(f"\nwrote {args.output}")
     return 0
 

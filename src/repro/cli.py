@@ -644,8 +644,8 @@ def main(argv: list[str] | None = None) -> int:
             default="seminaive", help="evaluation engine",
         )
         obs_parser.add_argument(
-            "--executor", choices=("batch", "nested", "kernel"), default="batch",
-            help="bottom-up execution model",
+            "--executor", choices=("batch", "nested", "kernel"), default=None,
+            help="bottom-up execution model (default: kernel, or $REPRO_EXECUTOR)",
         )
         obs_parser.add_argument(
             "--json", action="store_true", help="emit machine-readable JSON"

@@ -16,7 +16,7 @@ from repro.errors import EngineError, ResourceExhausted, SafetyError
 from repro.catalog.database import KnowledgeBase
 from repro.engine.guard import Diagnostics, ResourceGuard, degrade_catch
 from repro.engine.joins import bind_row, join_conjunction, relation_cost_estimator
-from repro.engine.plan import check_executor, compile_conjunction
+from repro.engine.plan import compile_conjunction, resolve_executor
 from repro.engine.seminaive import SemiNaiveEngine
 from repro.engine.topdown import TopDownEngine
 from repro.logic.atoms import Atom, atoms_variables
@@ -124,7 +124,7 @@ def evaluate_conjunction(
     engine: str = "seminaive",
     max_derived_facts: int | None = None,
     negated: Sequence[Atom] = (),
-    executor: str = "batch",
+    executor: str | None = None,
     guard: ResourceGuard | None = None,
     cache: "ViewCache | None" = None,
     tracer=None,
@@ -138,9 +138,11 @@ def evaluate_conjunction(
     conjunction (and the rules under it) into set-at-a-time hash-join
     plans, ``"nested"`` uses the tuple-at-a-time reference executor, and
     ``"kernel"`` lowers the compiled plans to integer join kernels over
-    interned symbol ids (:mod:`repro.engine.kernels`).  Only the seminaive
-    engine honours the knob; topdown and magic are tuple-at-a-time by
-    construction.
+    interned symbol ids (:mod:`repro.engine.kernels`).  ``None`` (the
+    default) resolves via :func:`repro.engine.plan.default_executor` —
+    normally ``kernel``, overridable with the ``REPRO_EXECUTOR``
+    environment variable.  Only the seminaive engine honours the knob;
+    topdown and magic are tuple-at-a-time by construction.
 
     ``plan_cache`` (a mutable mapping, usually a session's bounded cache)
     memoizes the compiled plan/kernel for the query conjunction itself
@@ -163,7 +165,7 @@ def evaluate_conjunction(
     (cached relations were computed without one, so answers could differ).
     """
     _check_engine(engine)
-    check_executor(executor)
+    executor = resolve_executor(executor)
     iterator = _evaluate_conjunction(
         kb, conjuncts, engine, max_derived_facts, negated, executor, guard, cache,
         tracer, plan_cache,
@@ -285,7 +287,7 @@ def _evaluate_conjunction(
             if plan_cache is not None:
                 plan_cache[key] = kernel
         yield from substitutions_from_kernel_batch(
-            kernel, kernel.execute(relation_view, guard, tracer)
+            kernel, kernel.execute_rows(relation_view, guard, tracer)
         )
         return
 
@@ -342,7 +344,7 @@ def retrieve(
     engine: str = "seminaive",
     max_derived_facts: int | None = None,
     negated_qualifier: Sequence[Atom] = (),
-    executor: str = "batch",
+    executor: str | None = None,
     guard: ResourceGuard | None = None,
     cache: "ViewCache | None" = None,
     tracer=None,
@@ -365,7 +367,7 @@ def retrieve(
     :class:`~repro.session.Session` hands each query a fresh one.
     """
     _check_engine(engine)
-    check_executor(executor)
+    executor = resolve_executor(executor)
     if subject.is_comparison():
         raise EngineError("the subject of retrieve may not be a comparison")
 

@@ -70,6 +70,37 @@ def check_executor(executor: str) -> None:
         )
 
 
+#: The process default when no executor is requested: the integer-interned
+#: kernel executor (fastest across the benchmark suite; the batch and
+#: nested executors remain as explicit escape hatches).
+DEFAULT_EXECUTOR = "kernel"
+
+
+def default_executor() -> str:
+    """The executor used when callers pass ``executor=None``.
+
+    The ``REPRO_EXECUTOR`` environment variable overrides the built-in
+    default (one of ``batch``/``nested``/``kernel``), so a deployment can
+    flip engines without touching call sites; an unknown value raises
+    :class:`~repro.errors.EngineError` at first use.
+    """
+    import os
+
+    executor = os.environ.get("REPRO_EXECUTOR")
+    if executor is None:
+        return DEFAULT_EXECUTOR
+    check_executor(executor)
+    return executor
+
+
+def resolve_executor(executor: str | None) -> str:
+    """Validate an explicit executor or resolve ``None`` to the default."""
+    if executor is None:
+        return default_executor()
+    check_executor(executor)
+    return executor
+
+
 class _HashJoin:
     """Join the batch against one relation, hashing on shared variables.
 

@@ -9,19 +9,28 @@ position at a time, so no derivation is recomputed.
 Evaluation is *relevance-restricted*: only predicates the query (transitively)
 depends on are materialised.
 
-Three executors drive rule bodies (the ``executor`` knob):
+Three executors drive rule bodies (the ``executor`` knob; ``None`` picks
+the process default, normally ``"kernel"`` — see
+:func:`repro.engine.plan.default_executor` and the ``REPRO_EXECUTOR``
+environment variable):
 
-* ``"batch"`` (default) — the set-at-a-time hash-join executor of
+* ``"batch"`` — the set-at-a-time hash-join executor of
   :mod:`repro.engine.plan`: each rule body is compiled once per
   ``(rule, delta-position)`` into a physical plan, cached for the lifetime
   of the stratum evaluation, and executed over whole relations;
 * ``"nested"`` — the tuple-at-a-time nested-loop reference executor of
   :mod:`repro.engine.joins`; the join order is still computed once per
   ``(rule, delta-position)`` rather than on every delta iteration.
-* ``"kernel"`` — the integer-interned kernels of
+* ``"kernel"`` (default) — the integer-interned kernels of
   :mod:`repro.engine.kernels`: the same compiled plans lowered to symbol
   ids, with the whole stratum fixpoint running over id tuples and the
   results externalized back into relations when the stratum completes.
+  When the numpy columnar backend is on (``REPRO_COLUMNAR_BACKEND=numpy``)
+  the fixpoint additionally runs *vectorized*: deltas stay 2-D ``int64``
+  arrays between iterations, probes resolve whole columns at a time, and
+  per-iteration dedup is one batch ``np.unique`` pass
+  (counted by the ``probe_batches`` / ``dedup_batch_rows`` tracer
+  counters) followed by a membership check against the accumulated table.
 """
 
 from __future__ import annotations
@@ -29,11 +38,12 @@ from __future__ import annotations
 from typing import Iterator, Sequence
 
 from repro.errors import SafetyError
+from repro.catalog.columnar import numpy_backend
 from repro.catalog.database import KnowledgeBase
 from repro.catalog.relation import Relation, Row
 from repro.engine.guard import ResourceGuard
 from repro.engine.joins import bind_row, join_conjunction, order_conjuncts, relation_cost_estimator
-from repro.engine.plan import RulePlan, check_executor, compile_rule
+from repro.engine.plan import RulePlan, compile_rule, resolve_executor
 from repro.engine.safety import check_rule_safety
 from repro.obs.trace import traced_span
 from repro.logic.atoms import Atom
@@ -57,9 +67,12 @@ class SemiNaiveEngine:
         (ignored when an explicit *guard* is given).  Exceeding it raises
         :class:`~repro.errors.EvaluationLimitError`.
     executor:
-        ``"batch"`` for the set-at-a-time hash-join executor (default),
+        ``"batch"`` for the set-at-a-time hash-join executor,
         ``"nested"`` for the tuple-at-a-time reference executor,
-        ``"kernel"`` for the integer-interned kernel executor.
+        ``"kernel"`` for the integer-interned kernel executor;
+        ``None`` (the default) resolves via
+        :func:`repro.engine.plan.default_executor` (normally ``kernel``,
+        overridable with ``REPRO_EXECUTOR``).
     guard:
         A :class:`~repro.engine.guard.ResourceGuard` governing the whole
         evaluation (deadline, fact/step/iteration budgets, cancellation).
@@ -73,11 +86,11 @@ class SemiNaiveEngine:
         self,
         kb: KnowledgeBase,
         max_derived_facts: int | None = None,
-        executor: str = "batch",
+        executor: str | None = None,
         guard: ResourceGuard | None = None,
         tracer=None,
     ) -> None:
-        check_executor(executor)
+        executor = resolve_executor(executor)
         if max_derived_facts is not None and max_derived_facts < 1:
             raise ValueError(
                 f"max_derived_facts must be at least 1, got {max_derived_facts!r} "
@@ -251,7 +264,11 @@ class SemiNaiveEngine:
 
     def _evaluate_stratum(self, stratum: set[str]) -> None:
         if self._executor == "kernel":
-            self._evaluate_stratum_kernel(stratum)
+            np = numpy_backend()
+            if np is not None:
+                self._evaluate_stratum_kernel_vec(stratum, np)
+            else:
+                self._evaluate_stratum_kernel(stratum)
             return
         kb = self._kb
         rules = [r for p in sorted(stratum) for r in kb.rules_for(p)]
@@ -458,3 +475,185 @@ class SemiNaiveEngine:
             for predicate, table in tables.items():
                 if table.rows:
                     self._relation(predicate).load_interned(table.rows)
+
+    def _evaluate_stratum_kernel_vec(self, stratum: set[str], np) -> None:
+        """Vectorized kernel fixpoint: deltas stay 2-D ``int64`` arrays.
+
+        Mirrors :meth:`_evaluate_stratum_kernel` — same rewriting, same
+        guard/tracer accounting at the same boundaries — but rule firing
+        runs :meth:`RuleKernel.execute_block` (whole-column probes) and the
+        per-round duplicate elimination is a batch ``np.unique`` pass
+        (``dedup_batch_rows`` counts rows entering it) followed by one
+        membership check per *unique* row — keyed by the row's raw bytes,
+        never materialized as a tuple — against the accumulated fact set.
+        Derived rows stay 2-D arrays for the entire stratum
+        (:class:`~repro.engine.kernels.GrowTable`) and flush through
+        :meth:`~repro.catalog.relation.Relation.load_interned_block` in one
+        flat externalization pass, so python-level work scales with new
+        facts, not raw join output.  The flush still runs on the way out
+        when a budget trips mid-fixpoint (same sound-under-approximation
+        contract as the scalar paths).
+        """
+        from repro.engine.kernels import (
+            ArrayTable,
+            GrowTable,
+            RuleKernel,
+            _void_rows,
+            compile_rule_kernel,
+            unique_block,
+        )
+
+        kb = self._kb
+        rules = [r for p in sorted(stratum) for r in kb.rules_for(p)]
+        for rule in rules:
+            check_rule_safety(rule)
+        self._kernels = {}
+        guard = self._guard
+        tracer = self._tracer
+        tables = {p: GrowTable(self._relation(p).arity, np) for p in stratum}
+        # Membership is tracked per predicate as a set of raw row bytes
+        # (the same void view np.unique sorts), mirroring IntTable.index
+        # without ever building an id tuple.  (A fully vectorized variant
+        # — sorted void chunks probed via searchsorted — measured slower:
+        # per-iteration numpy call overhead on small deltas outweighs
+        # C-level set lookups on interned bytes.)
+        seen: dict[str, set[bytes]] = {p: set() for p in stratum}
+        kdelta: dict[str, ArrayTable] = {}
+
+        def kview(predicate: str):
+            if predicate.startswith(_DELTA_PREFIX):
+                return kdelta.get(predicate[len(_DELTA_PREFIX):])
+            table = tables.get(predicate)
+            if table is not None:
+                return table
+            return self._relation_view(predicate)
+
+        def fire(rule: Rule, plan_key: tuple[int, int]):
+            kernel = self._kernels.get(plan_key)
+            if kernel is None:
+                estimate = relation_cost_estimator(kview)
+                kernel = compile_rule_kernel(rule, estimate=estimate)
+                self._kernels[plan_key] = kernel
+            assert isinstance(kernel, RuleKernel)
+            return kernel.execute_block(kview, np, guard, tracer)
+
+        def screen(predicate: str, fired, extra_seen=None):
+            """Batch-dedup fired head rows; ``(array, keys)`` of new rows."""
+            if tracer is not None:
+                tracer.count("dedup_batch_rows", len(fired))
+            uniq = unique_block(np, fired)
+            if uniq.shape[1]:
+                keys = _void_rows(np, uniq).tolist()
+            else:
+                keys = [b""] * len(uniq)
+            old = seen[predicate]
+            if extra_seen:
+                keep = [
+                    i for i, key in enumerate(keys)
+                    if key not in old and key not in extra_seen
+                ]
+            else:
+                keep = [i for i, key in enumerate(keys) if key not in old]
+            if not keep:
+                return uniq[:0], []
+            if len(keep) == len(keys):
+                return uniq, keys
+            return (
+                uniq[np.asarray(keep, dtype=np.intp)],
+                [keys[i] for i in keep],
+            )
+
+        try:
+            # deltas: predicate -> list of disjoint new-row arrays.
+            deltas: dict[str, list] = {p: [] for p in stratum}
+            for rule_index, rule in enumerate(rules):
+                with traced_span(tracer, "rule", rule=str(rule), phase="initial"):
+                    fired = fire(rule, (rule_index, -1))
+                    if len(fired):
+                        new_arr, new_keys = screen(rule.head.predicate, fired)
+                        if new_keys:
+                            seen[rule.head.predicate].update(new_keys)
+                            tables[rule.head.predicate].extend_block(new_arr)
+                            deltas[rule.head.predicate].append(new_arr)
+                            if guard is not None:
+                                guard.count_facts(len(new_keys))
+                            if tracer is not None:
+                                tracer.count("facts_derived", len(new_keys))
+
+            recursive_rules = [
+                (index, rule, [i for i, b in enumerate(rule.body) if b.predicate in stratum])
+                for index, rule in enumerate(rules)
+            ]
+            recursive_rules = [(i, r, occs) for i, r, occs in recursive_rules if occs]
+            if not recursive_rules:
+                return
+
+            rewritten_rules: list[tuple[int, int, Rule]] = []
+            for rule_index, rule, occurrences in recursive_rules:
+                for position in occurrences:
+                    body = list(rule.body)
+                    original = body[position]
+                    body[position] = Atom(_DELTA_PREFIX + original.predicate, original.args)
+                    rewritten_rules.append((rule_index, position, rule.with_body(body)))
+
+            iteration = 0
+            while any(parts for parts in deltas.values()):
+                iteration += 1
+                if guard is not None:
+                    guard.iteration()
+                with traced_span(tracer, "iteration", index=iteration):
+                    if tracer is not None:
+                        tracer.count(
+                            "delta_rows",
+                            sum(len(a) for parts in deltas.values() for a in parts),
+                        )
+                    kdelta = {
+                        p: ArrayTable(
+                            tables[p].arity,
+                            parts[0] if len(parts) == 1 else np.concatenate(parts),
+                            np,
+                        )
+                        for p, parts in deltas.items()
+                        if parts
+                    }
+                    new_parts: dict[str, list] = {p: [] for p in stratum}
+                    new_seen: dict[str, set] = {p: set() for p in stratum}
+                    for rule_index, position, rewritten in rewritten_rules:
+                        with traced_span(
+                            tracer,
+                            "rule",
+                            rule=str(rules[rule_index]),
+                            delta_position=position,
+                        ):
+                            fired = fire(rewritten, (rule_index, position))
+                            if len(fired):
+                                predicate = rewritten.head.predicate
+                                new_arr, new_keys = screen(
+                                    predicate, fired, new_seen[predicate]
+                                )
+                                if new_keys:
+                                    new_seen[predicate].update(new_keys)
+                                    new_parts[predicate].append(new_arr)
+                                    if tracer is not None:
+                                        tracer.count("facts_derived", len(new_keys))
+                    for predicate, parts in new_parts.items():
+                        if parts:
+                            # Tables extend only at the iteration boundary —
+                            # the same visibility the scalar paths give rules
+                            # within one iteration, and one build-side
+                            # version bump per iteration instead of one per
+                            # rule.
+                            added = 0
+                            table = tables[predicate]
+                            for part in parts:
+                                table.extend_block(part)
+                                added += len(part)
+                            seen[predicate].update(new_seen[predicate])
+                            if guard is not None:
+                                guard.count_facts(added)
+                    deltas = new_parts
+                    kdelta = {}
+        finally:
+            for predicate, table in tables.items():
+                if len(table):
+                    self._relation(predicate).load_interned_block(table.as_array(np))

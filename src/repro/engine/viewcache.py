@@ -217,7 +217,7 @@ class ViewCache:
     def evaluate(
         self,
         predicates: Sequence[str],
-        executor: str = "batch",
+        executor: str | None = None,
         guard: ResourceGuard | None = None,
         tracer=None,
     ) -> dict[str, Relation]:

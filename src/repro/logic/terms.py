@@ -64,7 +64,7 @@ class Constant:
     comparison predicates require.
     """
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_hash")
 
     def __init__(self, value: ConstantValue) -> None:
         if not isinstance(value, (str, int, float, bool)):
@@ -72,6 +72,7 @@ class Constant:
                 f"constant value must be str/int/float/bool, got {type(value).__name__}"
             )
         self.value = value
+        self._hash: int | None = None
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Constant):
@@ -82,7 +83,14 @@ class Constant:
         return self.value == other.value
 
     def __hash__(self) -> int:
-        return hash(("const", self.value))
+        # Cached: interning hands out one representative object per
+        # equality class, so the same Constant is hashed millions of
+        # times across join, dedup, and flush paths.  int/float
+        # cross-type equality is preserved (hash(3) == hash(3.0)).
+        cached = self._hash
+        if cached is None:
+            cached = self._hash = hash(("const", self.value))
+        return cached
 
     def __repr__(self) -> str:
         return f"Constant({self.value!r})"

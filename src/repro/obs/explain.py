@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.catalog.database import KnowledgeBase
 from repro.engine.joins import order_conjuncts, relation_cost_estimator
-from repro.engine.plan import check_executor, compile_conjunction, compile_rule
+from repro.engine.plan import compile_conjunction, compile_rule, resolve_executor
 from repro.errors import EngineError, SafetyError
 from repro.lang.ast import RetrieveStatement
 from repro.logic.atoms import Atom
@@ -200,7 +200,7 @@ def explain_plan(
     kb: KnowledgeBase,
     statement: "RetrieveStatement | str",
     engine: str = "seminaive",
-    executor: str = "batch",
+    executor: str | None = None,
 ) -> QueryExplanation:
     """Render the evaluation plan of a retrieve statement without running it.
 
@@ -209,7 +209,7 @@ def explain_plan(
     """
     if engine not in _ENGINES:
         raise EngineError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
-    check_executor(executor)
+    executor = resolve_executor(executor)
     parsed = _as_statement(statement)
     # Mirror retrieve's subject validation: explaining a statement that
     # execution would reject must fail the same way.

@@ -155,7 +155,7 @@ class Session:
         engine: str = "seminaive",
         style: str = "standard",
         config: SearchConfig | None = None,
-        executor: str = "batch",
+        executor: str | None = None,
         guard: ResourceGuard | None = None,
         cache: "ViewCache | bool | None" = True,
         lint: str = "warn",
@@ -178,8 +178,11 @@ class Session:
         self.config = config
         #: Bottom-up execution model for retrieve statements: "batch"
         #: (set-at-a-time hash joins), "nested" (tuple-at-a-time), or
-        #: "kernel" (integer-interned join kernels).
-        self.executor = executor
+        #: "kernel" (integer-interned join kernels; the default — see
+        #: repro.engine.plan.default_executor and REPRO_EXECUTOR).
+        from repro.engine.plan import resolve_executor
+
+        self.executor = resolve_executor(executor)
         #: Compiled-plan cache for retrieve conjunctions (see
         #: :class:`PlanCache`), or ``None`` when disabled.
         self.plan_cache: PlanCache | None = PlanCache() if plan_cache else None

@@ -166,17 +166,33 @@ class TestExecutorKnob:
         assert sorted(result.values()) == ["ann", "bob", "carol", "frank", "grace"]
 
     def test_engine_exposes_executor(self, uni):
-        assert SemiNaiveEngine(uni).executor == "batch"
+        assert SemiNaiveEngine(uni).executor == "kernel"
         assert SemiNaiveEngine(uni, executor="nested").executor == "nested"
+
+    def test_default_executor_env_override(self, uni, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "batch")
+        assert SemiNaiveEngine(uni).executor == "batch"
+        monkeypatch.setenv("REPRO_EXECUTOR", "vectorised")
+        with pytest.raises(EngineError):
+            SemiNaiveEngine(uni)
 
 
 class TestPlanCaching:
     def test_plans_cached_per_stratum(self):
         from repro.datasets import chain_graph_kb
 
-        engine = SemiNaiveEngine(chain_graph_kb(10))
+        engine = SemiNaiveEngine(chain_graph_kb(10), executor="batch")
         engine.derived_relation("path")
         # Two rules; the recursive one also has a delta plan.
         keys = set(engine._plans)
+        assert (0, -1) in keys and (1, -1) in keys
+        assert any(delta >= 0 for _, delta in keys)
+
+    def test_kernels_cached_per_stratum(self):
+        from repro.datasets import chain_graph_kb
+
+        engine = SemiNaiveEngine(chain_graph_kb(10), executor="kernel")
+        engine.derived_relation("path")
+        keys = set(engine._kernels)
         assert (0, -1) in keys and (1, -1) in keys
         assert any(delta >= 0 for _, delta in keys)

@@ -12,7 +12,7 @@ class TestExplain:
     def test_nonrecursive_plan_structure(self, uni):
         explanation = explain_plan(uni, "retrieve honor(X)")
         assert explanation.engine == "seminaive"
-        assert explanation.executor == "batch"
+        assert explanation.executor == "kernel"
         assert explanation.answer_variables == ["X"]
         strata = explanation.strata
         assert [s.recursive for s in strata] == [False]

@@ -5,6 +5,8 @@ Every engine configuration the repo ships —
 * semi-naive bottom-up with the set-at-a-time hash-join executor,
 * semi-naive bottom-up with the nested-loop reference executor,
 * semi-naive bottom-up with the interned columnar kernel executor,
+* the kernel executor again with the numpy vector pipeline forced on
+  (skipped silently when numpy is not importable),
 * top-down evaluation with call-pattern tabling,
 * magic-sets rewriting followed by semi-naive evaluation,
 
@@ -27,6 +29,7 @@ import os
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.catalog.columnar import backend_override
 from repro.catalog.database import KnowledgeBase
 from repro.engine import retrieve
 from repro.logic.atoms import Atom, comparison
@@ -38,23 +41,41 @@ EXAMPLES = int(os.environ.get("DIFFERENTIAL_EXAMPLES", "30"))
 CONSTANTS = ["a", "b", "c", "d", "e"]
 VARIABLES = [Variable(n) for n in ("X", "Y", "Z", "W")]
 
-#: Every (engine, executor) pair under test; the first is the baseline.
+
+def _numpy_available() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:  # pragma: no cover - numpy ships in CI images
+        return False
+    return True
+
+
+#: Every (engine, executor, columnar backend) triple under test; the first
+#: is the baseline.  ``None`` leaves the ambient backend decision alone;
+#: ``"numpy"`` forces the vector pipeline with the row floor at 1 so every
+#: delta takes the vectorized path.  The numpy config drops out of the
+#: matrix when numpy is not importable (optional accelerator, never a
+#: dependency).
 CONFIGS = (
-    ("seminaive", "batch"),
-    ("seminaive", "nested"),
-    ("seminaive", "kernel"),
-    ("topdown", "batch"),
-    ("magic", "batch"),
-)
+    ("seminaive", "batch", None),
+    ("seminaive", "nested", None),
+    ("seminaive", "kernel", None),
+    ("topdown", "batch", None),
+    ("magic", "batch", None),
+) + ((("seminaive", "kernel", "numpy"),) if _numpy_available() else ())
+
+
+def _answers(kb, subject, engine, executor, backend):
+    if backend is None:
+        return retrieve(kb, subject, engine=engine, executor=executor).to_set()
+    with backend_override(backend, min_rows=1):
+        return retrieve(kb, subject, engine=engine, executor=executor).to_set()
 
 
 def assert_engines_agree(kb, subject):
     """All engine configurations return the same answer set for *subject*."""
     results = {
-        (engine, executor): retrieve(
-            kb, subject, engine=engine, executor=executor
-        ).to_set()
-        for engine, executor in CONFIGS
+        config: _answers(kb, subject, *config) for config in CONFIGS
     }
     baseline = results[CONFIGS[0]]
     rules = "\n".join(str(rule) for rule in kb.rules())
