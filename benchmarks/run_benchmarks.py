@@ -320,6 +320,72 @@ def plan_cache_metrics(sizes, repeats: int) -> dict:
     return results
 
 
+def analysis_metrics(sizes, repeats: int) -> dict:
+    """The abstract-interpretation summary's cost: cold run vs cached hit.
+
+    ``summarize`` times the three fixpoint domains end to end (cache
+    cleared every round); ``cached_lookup`` times ``summary_for`` on an
+    unchanged knowledge base (fingerprint check + dictionary hit).  The
+    ``overhead`` pair re-issues the same point lookup with the planner
+    consuming the cached summary vs ``REPRO_PLAN_ANALYSIS`` off — the
+    cached-hit tax on a whole query, gated at <= 1.02x in
+    ``check_regression.py``.  The two variants are timed as *interleaved
+    pairs* (alternating order, median of per-pair ratios): sequential
+    blocks drift apart when the process has been warmed unevenly by
+    earlier benchmark sections, and a paired ratio cancels that.
+    """
+    from repro.analysis.absint import summary as absint
+
+    kb = scaled_university_kb(sizes["students"], seed=11)
+    rounds = max(repeats, 5)
+
+    cold = []
+    for _ in range(rounds):
+        absint.reset_cache()
+        start = time.perf_counter()
+        absint.summary_for(kb)
+        cold.append(time.perf_counter() - start)
+    cached = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        absint.summary_for(kb)
+        cached.append(time.perf_counter() - start)
+    info = absint.cache_info()
+
+    subject = parse_atom("can_ta(bob, databases)")
+    for enabled in (True, False):  # summary cached / plans warm outside timing
+        with absint.planning_override(enabled):
+            retrieve(kb, subject)
+    samples: dict[bool, list[float]] = {True: [], False: []}
+    ratios: list[float] = []
+    for round_no in range(rounds * 3):
+        order = (True, False) if round_no % 2 == 0 else (False, True)
+        pair: dict[bool, float] = {}
+        for enabled in order:
+            with absint.planning_override(enabled):
+                start = time.perf_counter()
+                retrieve(kb, subject)
+                pair[enabled] = time.perf_counter() - start
+        samples[True].append(pair[True])
+        samples[False].append(pair[False])
+        if pair[False] > 0:
+            ratios.append(pair[True] / pair[False])
+
+    return {
+        "summarize": {"median_s": round(statistics.median(cold), 6)},
+        "cached_lookup": {
+            "median_s": round(statistics.median(cached), 6),
+            "hits": info["hits"],
+            "misses": info["misses"],
+        },
+        "overhead": {
+            "informed_median_s": round(statistics.median(samples[True]), 6),
+            "syntactic_median_s": round(statistics.median(samples[False]), 6),
+            "ratio": round(statistics.median(ratios), 3) if ratios else None,
+        },
+    }
+
+
 def durability_metrics(sizes, repeats: int) -> dict:
     """The write-ahead log's cost and recovery's speed.
 
@@ -529,6 +595,7 @@ def run_tier(tier: str, repeats: int | None = None) -> dict:
         "tracer_overhead": tracer_overhead,
         "cache": cache_metrics(sizes, repeats),
         "plan_cache": plan_cache_metrics(sizes, repeats),
+        "analysis": analysis_metrics(sizes, repeats),
         "durability": durability_metrics(sizes, repeats),
         "columnar": columnar,
     }
@@ -556,6 +623,7 @@ def append_history(report: dict, path: Path) -> None:
             "tracer_overhead": report["tracer_overhead"],
             "cache": report["cache"],
             "plan_cache": report["plan_cache"],
+            "analysis": report["analysis"],
             "durability": report["durability"],
             "columnar": report["columnar"],
         }

@@ -1,0 +1,280 @@
+"""Cardinality/fan-out estimation: row and distinct-count bounds per predicate.
+
+The abstract value is a :class:`CardEstimate` — an estimated row count plus
+a per-column distinct-count estimate.  EDB predicates are seeded from live
+relation statistics (``len`` and ``distinct_count`` per column, the same
+numbers :func:`repro.engine.joins.relation_cost_estimator` reads); IDB
+estimates grow through rule transfers under the shared fixpoint driver.
+
+A rule transfer walks the body left to right, the way the planners join:
+each positive atom multiplies rows by its *fan-out* (size divided by the
+distinct count of every bound column — the standard independence
+assumption), comparisons apply fixed selectivities, and the head projects
+through the surviving variables' distinct estimates.  This chain is of
+unbounded height for recursive programs (estimates can keep climbing), so
+the driver's widening hook jumps a predicate to its *cap* — the product of
+its column universes, taken from the type analysis's enum facets when
+present and from the EDB constant universe otherwise.  Recursive predicates
+are additionally classified (``linear`` / ``nonlinear`` / ``mutual``) from
+the dependency graph; the lint pass uses the classification together with
+widened estimates to call out unbounded-growth recursion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from repro.analysis.absint.fixpoint import Equation, solve
+from repro.analysis.absint.lattice import ColumnDomain
+from repro.logic.clauses import Rule
+from repro.logic.terms import Variable, is_constant
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.model import ProgramModel
+
+__all__ = [
+    "CardEstimate",
+    "infer_cardinalities",
+    "recursion_profile",
+]
+
+#: Selectivity of ``=`` / order / ``!=`` comparisons (classic defaults).
+EQ_SEL = 0.1
+ORD_SEL = 0.33
+NEQ_SEL = 0.9
+
+#: Hard ceiling on any estimate — keeps the float arithmetic sane.
+CAP_MAX = 1e18
+
+#: Floor used for per-atom fan-out, mirroring ``relation_cost_estimator``.
+_GROWTH_FLOOR = 0.001
+
+
+@dataclass(frozen=True)
+class CardEstimate:
+    """Estimated rows and per-column distinct counts for one predicate."""
+
+    rows: float
+    distinct: tuple[float, ...]
+
+    @property
+    def is_empty(self) -> bool:
+        return self.rows <= 0.0
+
+    def join(self, other: "CardEstimate") -> "CardEstimate":
+        """Upper bound across rules: elementwise max."""
+        width = min(len(self.distinct), len(other.distinct))
+        return CardEstimate(
+            max(self.rows, other.rows),
+            tuple(
+                max(self.distinct[i], other.distinct[i]) for i in range(width)
+            ),
+        )
+
+    def describe(self) -> str:
+        rows = int(self.rows) if self.rows < CAP_MAX else "huge"
+        return f"~{rows} rows"
+
+
+def _empty(arity: int) -> CardEstimate:
+    return CardEstimate(0.0, (0.0,) * arity)
+
+
+def _edb_stats(model: "ProgramModel") -> dict[str, CardEstimate]:
+    """Seed estimates from stored relations (or program facts)."""
+    stats: dict[str, CardEstimate] = {}
+    kb = model.source_kb
+    if kb is not None:
+        for predicate, arity in model.edb.items():
+            relation = kb.relation(predicate)
+            rows = float(len(relation))
+            stats[predicate] = CardEstimate(
+                rows,
+                tuple(float(relation.distinct_count(c)) for c in range(arity)),
+            )
+        return stats
+
+    collected: dict[str, list[set]] = {}
+    for fact in model.facts:
+        head = fact.head
+        columns = collected.setdefault(
+            head.predicate, [set() for _ in range(head.arity)]
+        )
+        for index, arg in enumerate(head.args):
+            if index < len(columns):
+                columns[index].add(arg)
+    for predicate, arity in model.edb.items():
+        rows = float(model.fact_counts.get(predicate, 0))
+        columns = collected.get(predicate, [])
+        stats[predicate] = CardEstimate(
+            rows,
+            tuple(
+                float(len(columns[c])) if c < len(columns) else rows
+                for c in range(arity)
+            ),
+        )
+    return stats
+
+
+def _universe(stats: Mapping[str, CardEstimate]) -> float:
+    """An upper bound on the number of distinct EDB constants.
+
+    Every constant lives in at least one EDB column, so the sum of the
+    per-column distinct counts bounds the constant universe from above.
+    """
+    total = sum(sum(est.distinct) for est in stats.values())
+    return max(1.0, min(total, CAP_MAX))
+
+
+def _clamp(value: float, low: float, high: float) -> float:
+    return max(low, min(value, high))
+
+
+def rule_estimate(
+    rule: Rule, state: Mapping[str, CardEstimate], universe: float
+) -> CardEstimate:
+    """Abstractly evaluate one rule body's row/distinct estimate."""
+    rows = 1.0
+    bound: set[Variable] = set()
+    var_distinct: dict[Variable, float] = {}
+    for atom in rule.body:
+        if atom.is_comparison():
+            op = atom.predicate
+            if op == "=":
+                rows *= EQ_SEL
+                left, right = atom.args
+                if is_constant(right) and not is_constant(left):
+                    var_distinct[left] = 1.0  # type: ignore[index]
+                elif is_constant(left) and not is_constant(right):
+                    var_distinct[right] = 1.0  # type: ignore[index]
+            elif op == "!=":
+                rows *= NEQ_SEL
+            else:
+                rows *= ORD_SEL
+            bound.update(atom.variables())
+            continue
+        est = state.get(atom.predicate)
+        if est is None or est.is_empty:
+            return _empty(rule.head.arity)
+        growth = min(est.rows, CAP_MAX)
+        for column, arg in enumerate(atom.args):
+            distinct = est.distinct[column] if column < len(est.distinct) else 1.0
+            if is_constant(arg) or arg in bound:
+                growth /= max(distinct, 1.0)
+        rows = min(rows * max(growth, _GROWTH_FLOOR), CAP_MAX)
+        for column, arg in enumerate(atom.args):
+            if is_constant(arg):
+                continue
+            distinct = est.distinct[column] if column < len(est.distinct) else 1.0
+            distinct = _clamp(distinct, 1.0, max(est.rows, 1.0))
+            seen = var_distinct.get(arg)
+            var_distinct[arg] = distinct if seen is None else min(seen, distinct)
+        bound.update(atom.variables())
+
+    head = rule.head
+    raw = tuple(
+        1.0 if is_constant(arg) else var_distinct.get(arg, universe)
+        for arg in head.args
+    )
+    cap = 1.0
+    for distinct in raw:
+        cap = min(cap * max(distinct, 1.0), CAP_MAX)
+    out_rows = min(rows, cap)
+    return CardEstimate(out_rows, tuple(min(d, max(out_rows, 1.0)) for d in raw))
+
+
+def _column_caps(
+    predicate: str,
+    arity: int,
+    universe: float,
+    types: Mapping[str, tuple[ColumnDomain, ...]] | None,
+) -> tuple[float, ...]:
+    caps = []
+    for column in range(arity):
+        cap = universe
+        if types is not None:
+            domains = types.get(predicate)
+            if domains is not None and column < len(domains):
+                bound = domains[column].distinct_bound()
+                if bound is not None and bound > 0:
+                    cap = float(bound)
+        caps.append(cap)
+    return tuple(caps)
+
+
+def infer_cardinalities(
+    model: "ProgramModel",
+    types: Mapping[str, tuple[ColumnDomain, ...]] | None = None,
+) -> dict[str, CardEstimate]:
+    """Least-fixpoint (widened) cardinality estimates for every predicate."""
+    stats = _edb_stats(model)
+    universe = _universe(stats)
+
+    initial: dict[str, CardEstimate] = dict(stats)
+    arity_of: dict[str, int] = dict(model.edb)
+    for predicate, arity in model.declared_idb.items():
+        arity_of.setdefault(predicate, arity)
+        initial.setdefault(predicate, _empty(arity))
+    for rule in model.rules:
+        arity_of.setdefault(rule.head.predicate, rule.head.arity)
+        initial.setdefault(rule.head.predicate, _empty(rule.head.arity))
+
+    equations: list[Equation] = []
+    for rule in model.rules:
+        deps = tuple(
+            sorted(
+                {
+                    atom.predicate
+                    for atom in rule.body
+                    if not atom.is_comparison() and atom.predicate in initial
+                }
+            )
+        )
+
+        def transfer(
+            state: Mapping[str, object], rule: Rule = rule
+        ) -> CardEstimate:
+            return rule_estimate(rule, state, universe)  # type: ignore[arg-type]
+
+        equations.append(Equation(rule.head.predicate, deps, transfer))
+
+    def join(old: object, new: object) -> CardEstimate:
+        return old.join(new)  # type: ignore[union-attr]
+
+    def widen(target: str, value: object) -> CardEstimate:
+        caps = _column_caps(target, arity_of.get(target, 0), universe, types)
+        cap_rows = 1.0
+        for cap in caps:
+            cap_rows = min(cap_rows * max(cap, 1.0), CAP_MAX)
+        return CardEstimate(cap_rows, caps)
+
+    return solve(equations, initial, join, widen)  # type: ignore[return-value]
+
+
+def recursion_profile(model: "ProgramModel") -> dict[str, str]:
+    """Classify every recursive predicate: ``linear``/``nonlinear``/``mutual``.
+
+    ``mutual`` — the predicate's recursion class has more than one member;
+    ``nonlinear`` — some defining rule uses two or more atoms from the
+    class (quadratic-style self-joins); ``linear`` otherwise.
+    """
+    graph = model.graph
+    profile: dict[str, str] = {}
+    for predicate in sorted(graph.recursive_predicates()):
+        cls = graph.recursion_class(predicate)
+        if len(cls) > 1:
+            profile[predicate] = "mutual"
+            continue
+        nonlinear = False
+        for rule in model.rules_for(predicate):
+            in_class = sum(
+                1
+                for atom in rule.body
+                if not atom.is_comparison() and atom.predicate in cls
+            )
+            if in_class >= 2:
+                nonlinear = True
+                break
+        profile[predicate] = "nonlinear" if nonlinear else "linear"
+    return profile

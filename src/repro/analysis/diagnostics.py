@@ -59,7 +59,12 @@ class Diagnostic:
         """The one-line (plus hint) human rendering used by ``dbk lint``."""
         location = ""
         if self.span is not None:
-            location = f"{self.span.line}:{self.span.column}: "
+            if self.span.line is None or self.span.column is None:
+                # Rules built programmatically may carry a span without
+                # positions; render a clean marker, not "None:None".
+                location = "<generated>: "
+            else:
+                location = f"{self.span.line}:{self.span.column}: "
         prefix = f"{path}:" if path else ""
         lines = [f"{prefix}{location}{self.severity} {self.code}: {self.message}"]
         if self.rule is not None:
@@ -150,8 +155,8 @@ class AnalysisReport:
         """Sort into the stable report order: position, then code, then text."""
         self.diagnostics.sort(
             key=lambda d: (
-                d.span.line if d.span else 0,
-                d.span.column if d.span else 0,
+                (d.span.line or 0) if d.span is not None else 0,
+                (d.span.column or 0) if d.span is not None else 0,
                 d.code,
                 d.message,
             )

@@ -53,6 +53,10 @@ class ProgramModel:
     declared_idb: dict[str, int] = field(default_factory=dict)
     #: Stored-fact counts per EDB predicate.
     fact_counts: dict[str, int] = field(default_factory=dict)
+    #: The knowledge base this model was built from (``from_kb`` only) —
+    #: lets the abstract-interpretation analyses seed column domains and
+    #: cardinalities from the stored relations instead of program text.
+    source_kb: "KnowledgeBase | None" = field(default=None, repr=False, compare=False)
 
     # -- constructors ------------------------------------------------------------
 
@@ -80,6 +84,7 @@ class ProgramModel:
     def from_kb(cls, kb: "KnowledgeBase") -> "ProgramModel":
         """Model a loaded knowledge base (facts kept as counts only)."""
         model = cls()
+        model.source_kb = kb
         model.rules = kb.rules()
         model.constraints = kb.constraints()
         for predicate in kb.edb_predicates():

@@ -26,6 +26,7 @@ PASS_ORDER = (
     "comparisons",
     "deadcode",
     "consistency",
+    "absint",
 )
 
 

@@ -394,6 +394,19 @@ def run_lint(args: argparse.Namespace, out=None, err=None) -> int:
 
     out = out if out is not None else sys.stdout
     err = err if err is not None else sys.stderr
+    explain = getattr(args, "explain", None)
+    if explain is not None:
+        from repro.analysis.catalog import catalog_entry
+
+        entry = catalog_entry(explain)
+        if entry is None:
+            print(f"error: unknown diagnostic code {explain!r}", file=err)
+            return 2
+        print(entry.format(), file=out)
+        return 0
+    if not args.files:
+        print("error: no files to lint (or use --explain CODE)", file=err)
+        return 2
     threshold = {
         "error": Severity.ERROR,
         "warning": Severity.WARNING,
@@ -446,7 +459,17 @@ def run_repl(session: Session, stream=None, out=None) -> None:
         if interactive:
             out.write("dbk> " if not buffer else "...> ")
             out.flush()
-        line = stream.readline()
+        try:
+            line = stream.readline()
+        except KeyboardInterrupt:
+            # ^C at the prompt: discard any half-typed statement and keep
+            # the loop alive (a second ^C on an empty buffer still exits
+            # via EOF in non-interactive streams).
+            if interactive:
+                emit("")
+                buffer = ""
+                continue
+            raise
         if not line:
             break
         line = line.strip()
@@ -553,8 +576,13 @@ def main(argv: list[str] | None = None) -> int:
             "source-located diagnostics (see docs/LINT.md)",
         )
         lint_parser.add_argument(
-            "files", nargs="+", metavar="FILE",
+            "files", nargs="*", metavar="FILE",
             help="definition files to analyze",
+        )
+        lint_parser.add_argument(
+            "--explain", metavar="CODE",
+            help="print the catalogue entry for a diagnostic code "
+            "(e.g. KB401) and exit",
         )
         lint_parser.add_argument(
             "--json", action="store_true",
@@ -729,7 +757,12 @@ def main(argv: list[str] | None = None) -> int:
     except (OSError, ReproError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    run_repl(session)
+    try:
+        run_repl(session)
+    except KeyboardInterrupt:
+        # ^C mid-evaluation: no traceback, conventional 128+SIGINT status.
+        print(file=sys.stderr)
+        return 130
     return 0
 
 

@@ -27,29 +27,31 @@ from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 from repro.errors import EngineError
+from repro.analysis.absint.modes import ModeTable, RuleSchedule, adornment_of
 from repro.catalog.database import KnowledgeBase
 from repro.engine.seminaive import SemiNaiveEngine
 from repro.logic.atoms import Atom
 from repro.logic.clauses import Rule
 from repro.logic.substitution import Substitution
-from repro.logic.terms import Variable, is_constant, is_variable
+from repro.logic.terms import Variable
+
+__all__ = [
+    "GOAL",
+    "ADORN_SEP",
+    "MAGIC_PREFIX",
+    "MagicProgram",
+    "adorned_name",
+    "adornment_of",  # canonical definition lives in analysis.absint.modes
+    "magic_conjunction",
+    "magic_name",
+    "magic_rewrite",
+]
 
 #: Synthetic goal predicate for conjunction queries.
 GOAL = "__goal"
 #: Separator between a predicate name and its adornment.
 ADORN_SEP = "__"
 MAGIC_PREFIX = "magic_"
-
-
-def adornment_of(atom: Atom, bound: set[Variable]) -> str:
-    """The adornment string: ``b`` per bound argument, ``f`` per free one."""
-    letters = []
-    for arg in atom.args:
-        if is_constant(arg) or arg in bound:
-            letters.append("b")
-        else:
-            letters.append("f")
-    return "".join(letters)
 
 
 def adorned_name(predicate: str, adornment: str) -> str:
@@ -76,11 +78,34 @@ class MagicProgram:
     magic_rules: int = 0
 
 
-def magic_rewrite(kb: KnowledgeBase, conjunction: Sequence[Atom]) -> MagicProgram:
+def _schedule_for(
+    mode_table: ModeTable | None, predicate: str, adornment: str, rule: Rule
+) -> RuleSchedule:
+    """The SIPS schedule of one rule under one adornment.
+
+    Prefers the memoized table from a cached analysis summary (repeat
+    queries with already-seen call patterns skip the walk entirely);
+    falls back to computing the schedule directly.
+    """
+    if mode_table is not None:
+        for schedule in mode_table.schedule(predicate, adornment):
+            if schedule.rule is rule:
+                return schedule
+    return ModeTable.schedule_rule(rule, adornment)
+
+
+def magic_rewrite(
+    kb: KnowledgeBase,
+    conjunction: Sequence[Atom],
+    mode_table: ModeTable | None = None,
+) -> MagicProgram:
     """Rewrite *kb* for the given conjunctive query.
 
     Returns a new knowledge base (sharing fact storage via copies) whose
     rules derive only query-relevant facts, plus the goal atom to retrieve.
+    *mode_table* (normally the cached analysis summary's) supplies memoized
+    per-rule adornment schedules; the rewrite output is identical with or
+    without it.
     """
     for rule in kb.rules():
         if not rule.is_positive():
@@ -122,22 +147,27 @@ def magic_rewrite(kb: KnowledgeBase, conjunction: Sequence[Atom]) -> MagicProgra
         processed.add((predicate, adornment))
         for rule in rules_by_pred.get(predicate, ()):
             head = rule.head
-            bound: set[Variable] = {
-                arg
-                for arg, letter in zip(head.args, adornment)
-                if letter == "b" and is_variable(arg)
-            }
+            # The per-atom adornments come from the (memoized) SIPS
+            # schedule — the same left-to-right bookkeeping the binding-mode
+            # analysis runs, so the rewrite and the analysis always agree.
+            schedule = _schedule_for(
+                mode_table if predicate != GOAL else None,
+                predicate,
+                adornment,
+                rule,
+            )
             magic_guard = Atom(
                 magic_name(predicate, adornment), _bound_args(head, adornment)
             )
             new_body: list[Atom] = [magic_guard]
-            for body_atom in rule.body:
+            for index, body_atom in enumerate(rule.body):
                 if body_atom.is_comparison():
                     new_body.append(body_atom)
-                    bound.update(body_atom.variables())
                     continue
+                entry = schedule.entry_at(index)
+                assert entry is not None  # every non-comparison atom has one
                 if is_rewritable(body_atom.predicate):
-                    body_adornment = adornment_of(body_atom, bound)
+                    body_adornment = entry.adornment
                     # Magic rule: the bindings reaching this subgoal.
                     magic_head = Atom(
                         magic_name(body_atom.predicate, body_adornment),
@@ -153,7 +183,6 @@ def magic_rewrite(kb: KnowledgeBase, conjunction: Sequence[Atom]) -> MagicProgra
                     )
                 else:
                     new_body.append(body_atom)
-                bound.update(body_atom.variables())
             emit(
                 Rule(Atom(adorned_name(predicate, adornment), head.args), new_body)
             )
@@ -191,7 +220,14 @@ def magic_conjunction(
     from repro.engine.guard import degrade_catch
     from repro.engine.joins import bind_row
 
-    program = magic_rewrite(kb, conjunction)
+    mode_table: ModeTable | None = None
+    from repro.analysis.absint.summary import planning_enabled, summary_for
+
+    if planning_enabled():
+        # The cached summary's mode table memoizes the SIPS schedules, so
+        # repeat queries with already-seen call patterns skip the walk.
+        mode_table = summary_for(kb).mode_table
+    program = magic_rewrite(kb, conjunction, mode_table=mode_table)
     if tracer is not None:
         tracer.event(
             "magic.rewrite",
@@ -199,8 +235,14 @@ def magic_conjunction(
             magic_rules=program.magic_rules,
             goal=str(program.goal),
         )
+    # The rewritten kb is fresh per query: analysing it would miss the
+    # summary cache every time, so the inner engine runs analysis-free.
     engine = SemiNaiveEngine(
-        program.kb, max_derived_facts=max_derived_facts, guard=guard, tracer=tracer
+        program.kb,
+        max_derived_facts=max_derived_facts,
+        guard=guard,
+        tracer=tracer,
+        analysis=False,
     )
     try:
         relation = engine.derived_relation(program.goal.predicate)

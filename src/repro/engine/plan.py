@@ -48,6 +48,10 @@ EXECUTORS = ("batch", "nested", "kernel")
 #: A batch: bindings for the plan's slot schema, one constant per slot.
 Batch = list[tuple]
 
+#: Marker prefix distinguishing a delta occurrence inside a rewritten body
+#: (shared by the semi-naive engine and the analysis-aware estimator).
+DELTA_PREFIX = "\x7fdelta\x7f:"
+
 #: Accessor from predicate name to its current relation (``None`` =
 #: undefined predicate, i.e. an empty extension).
 RelationView = Callable[[str], Relation | None]
@@ -99,6 +103,46 @@ def resolve_executor(executor: str | None) -> str:
         return default_executor()
     check_executor(executor)
     return executor
+
+
+def analysis_estimator(relation_for: RelationView, summary) -> CostEstimator:
+    """A cost estimator backed by live stats *and* analysis estimates.
+
+    Live relation statistics win whenever the relation is non-empty (they
+    are exact); the abstract cardinality estimate from *summary* (an
+    :class:`~repro.analysis.absint.summary.AnalysisSummary`) fills in for
+    IDB predicates whose relations are still empty at plan-compile time —
+    exactly the blind spot of the purely syntactic ordering, since plans
+    are compiled once per stratum before any facts are derived.
+    """
+    from repro.engine.joins import relation_cost_estimator
+
+    live = relation_cost_estimator(relation_for)
+
+    def estimate(atom: Atom, bound: set[Variable]) -> float | None:
+        relation = relation_for(atom.predicate)
+        if relation is not None and len(relation) > 0:
+            return live(atom, bound)
+        predicate = atom.predicate
+        if predicate.startswith(DELTA_PREFIX):
+            if relation is None:
+                return None  # delta not materialised yet: genuinely unknown
+            predicate = predicate[len(DELTA_PREFIX):]
+        rows = summary.estimated_rows(predicate)
+        if rows is None:
+            return live(atom, bound)
+        if rows <= 0:
+            return 0.0
+        size = float(rows)
+        distincts = summary.distinct_estimates(predicate) or ()
+        for column, arg in enumerate(atom.args):
+            if is_constant(arg) or arg in bound:
+                distinct = distincts[column] if column < len(distincts) else 1.0
+                if distinct > 1.0:
+                    size /= distinct
+        return max(size, 0.001)
+
+    return estimate
 
 
 class _HashJoin:

@@ -43,16 +43,19 @@ from repro.catalog.database import KnowledgeBase
 from repro.catalog.relation import Relation, Row
 from repro.engine.guard import ResourceGuard
 from repro.engine.joins import bind_row, join_conjunction, order_conjuncts, relation_cost_estimator
-from repro.engine.plan import RulePlan, compile_rule, resolve_executor
+from repro.engine.plan import (
+    DELTA_PREFIX as _DELTA_PREFIX,
+    RulePlan,
+    analysis_estimator,
+    compile_rule,
+    resolve_executor,
+)
 from repro.engine.safety import check_rule_safety
 from repro.obs.trace import traced_span
 from repro.logic.atoms import Atom
 from repro.logic.clauses import Rule
 from repro.logic.substitution import Substitution
 from repro.logic.terms import is_constant
-
-#: Marker prefix distinguishing a delta occurrence inside a rewritten body.
-_DELTA_PREFIX = "\x7fdelta\x7f:"
 
 
 class SemiNaiveEngine:
@@ -80,6 +83,15 @@ class SemiNaiveEngine:
         A :class:`~repro.obs.trace.Tracer` recording stratum / iteration /
         rule spans with ``facts_derived``, ``delta_rows`` and ``join_probes``
         counters.  ``None`` (the default) keeps the hot path untraced.
+    analysis:
+        Analysis-informed planning control: ``None`` (the default) follows
+        the ``REPRO_PLAN_ANALYSIS`` flag, ``False`` disables it, ``True``
+        forces it, and a prebuilt
+        :class:`~repro.analysis.absint.summary.AnalysisSummary` is used
+        directly.  When enabled, join ordering falls back to abstract
+        cardinality estimates for not-yet-materialised IDB relations and
+        the kernel executor specializes comparisons/joins from inferred
+        column domains.
     """
 
     def __init__(
@@ -89,6 +101,7 @@ class SemiNaiveEngine:
         executor: str | None = None,
         guard: ResourceGuard | None = None,
         tracer=None,
+        analysis=None,
     ) -> None:
         executor = resolve_executor(executor)
         if max_derived_facts is not None and max_derived_facts < 1:
@@ -102,6 +115,10 @@ class SemiNaiveEngine:
         self._guard = guard
         self._tracer = tracer
         self._executor = executor
+        #: Analysis-informed planning: ``None`` resolves via the
+        #: ``REPRO_PLAN_ANALYSIS`` flag, ``False`` disables, ``True`` forces,
+        #: and an :class:`AnalysisSummary` instance is used as-is.
+        self._analysis = analysis
         self._derived: dict[str, Relation] = {}
         self._delta: dict[str, Relation] = {}
         self._evaluated: set[str] = set()
@@ -188,6 +205,35 @@ class SemiNaiveEngine:
             return self._relation(predicate)
         return None
 
+    def _analysis_summary(self):
+        """Resolve (and pin) the analysis summary, or ``None`` when off.
+
+        The summary itself is cached per knowledge base keyed on
+        ``(rules_version, EDB versions)`` (see
+        :func:`repro.analysis.absint.summary.summary_for`), so resolving it
+        here is a dictionary hit for every repeat evaluation.
+        """
+        analysis = self._analysis
+        if analysis is False:
+            return None
+        if analysis is None or analysis is True:
+            from repro.analysis.absint.summary import planning_enabled, summary_for
+
+            if analysis is None and not planning_enabled():
+                self._analysis = False
+                return None
+            summary = summary_for(self._kb)
+            self._analysis = summary
+            return summary
+        return analysis
+
+    def _cost_estimator(self, relation_for):
+        """The join-order estimator: live stats + analysis fallback."""
+        summary = self._analysis_summary()
+        if summary is None:
+            return relation_cost_estimator(relation_for)
+        return analysis_estimator(relation_for, summary)
+
     def _resolver(self, atom: Atom, theta: Substitution) -> Iterator[Substitution]:
         """Resolve a positive atom against EDB, derived, or delta relations."""
         relation = self._relation_view(atom.predicate)
@@ -240,13 +286,13 @@ class SemiNaiveEngine:
         if self._executor == "batch":
             plan = self._plans.get(plan_key)
             if plan is None:
-                estimate = relation_cost_estimator(self._relation_view)
+                estimate = self._cost_estimator(self._relation_view)
                 plan = compile_rule(rule, estimate=estimate)
                 self._plans[plan_key] = plan
             return plan.execute(self._relation_view, guard, tracer)
         ordered = self._orders.get(plan_key)
         if ordered is None:
-            estimate = relation_cost_estimator(self._relation_view)
+            estimate = self._cost_estimator(self._relation_view)
             ordered = order_conjuncts(rule.body, estimate=estimate)
             self._orders[plan_key] = ordered
         rows: list[Row] = []
@@ -392,8 +438,10 @@ class SemiNaiveEngine:
         def fire(rule: Rule, plan_key: tuple[int, int]) -> list[tuple[int, ...]]:
             kernel = self._kernels.get(plan_key)
             if kernel is None:
-                estimate = relation_cost_estimator(kview)
-                kernel = compile_rule_kernel(rule, estimate=estimate)
+                estimate = self._cost_estimator(kview)
+                kernel = compile_rule_kernel(
+                    rule, estimate=estimate, summary=self._analysis_summary()
+                )
                 self._kernels[plan_key] = kernel
             assert isinstance(kernel, RuleKernel)
             return kernel.execute(kview, guard, tracer)
@@ -531,8 +579,10 @@ class SemiNaiveEngine:
         def fire(rule: Rule, plan_key: tuple[int, int]):
             kernel = self._kernels.get(plan_key)
             if kernel is None:
-                estimate = relation_cost_estimator(kview)
-                kernel = compile_rule_kernel(rule, estimate=estimate)
+                estimate = self._cost_estimator(kview)
+                kernel = compile_rule_kernel(
+                    rule, estimate=estimate, summary=self._analysis_summary()
+                )
                 self._kernels[plan_key] = kernel
             assert isinstance(kernel, RuleKernel)
             return kernel.execute_block(kview, np, guard, tracer)

@@ -72,6 +72,38 @@ class StratumExplanation:
 
 
 @dataclass
+class PredicateAnalysis:
+    """Inferred facts about one IDB predicate (from the absint summary)."""
+
+    predicate: str
+    modes: list[str]
+    columns: list[str]
+    rows: str
+    recursion: str | None = None
+
+    def as_dict(self) -> dict:
+        entry: dict[str, object] = {
+            "predicate": self.predicate,
+            "modes": list(self.modes),
+            "columns": list(self.columns),
+            "rows": self.rows,
+        }
+        if self.recursion is not None:
+            entry["recursion"] = self.recursion
+        return entry
+
+    def format(self) -> str:
+        parts = []
+        if self.modes:
+            parts.append("modes " + ", ".join(self.modes))
+        parts.append("cols (" + ", ".join(self.columns) + ")")
+        parts.append(self.rows)
+        if self.recursion is not None:
+            parts.append(f"recursion: {self.recursion}")
+        return f"{self.predicate}: " + "; ".join(parts)
+
+
+@dataclass
 class QueryExplanation:
     """The full pre-execution story of one retrieve statement."""
 
@@ -82,6 +114,7 @@ class QueryExplanation:
     query_steps: list[str]
     answer_variables: list[str]
     notes: list[str] = field(default_factory=list)
+    analysis: list[PredicateAnalysis] = field(default_factory=list)
 
     def as_dict(self) -> dict:
         return {
@@ -92,6 +125,7 @@ class QueryExplanation:
             "query_steps": list(self.query_steps),
             "answer_variables": list(self.answer_variables),
             "notes": list(self.notes),
+            "analysis": [entry.as_dict() for entry in self.analysis],
         }
 
     def format(self) -> str:
@@ -101,6 +135,10 @@ class QueryExplanation:
         ]
         for note in self.notes:
             lines.append(f"note: {note}")
+        if self.analysis:
+            lines.append("analysis (binding modes / column domains / cardinality):")
+            for entry in self.analysis:
+                lines.append(f"  {entry.format()}")
         for stratum in self.strata:
             recursion = " (recursive)" if stratum.recursive else ""
             lines.append(
@@ -136,13 +174,53 @@ def _as_statement(statement: "RetrieveStatement | str") -> RetrieveStatement:
     return parsed
 
 
-def _cold_estimator(kb: KnowledgeBase):
-    """The pre-execution estimator: EDB sizes known, IDB sizes unknown."""
+def _cold_estimator(kb: KnowledgeBase, summary=None):
+    """The pre-execution estimator: EDB sizes known, IDB sizes unknown.
+
+    With an analysis *summary*, the inferred cardinality estimates fill the
+    IDB gap — the same estimator the semi-naive engine plans with.
+    """
 
     def relation_for(predicate: str):
         return kb.relation(predicate) if kb.is_edb(predicate) else None
 
+    if summary is not None:
+        from repro.engine.plan import analysis_estimator
+
+        return analysis_estimator(relation_for, summary)
     return relation_cost_estimator(relation_for)
+
+
+def _relevant_idb(kb: KnowledgeBase, conjuncts) -> set[str]:
+    """The IDB predicates a conjunction depends on (directly or below)."""
+    graph = kb.dependency_graph()
+    wanted = {
+        a.predicate
+        for a in conjuncts
+        if not a.is_comparison() and kb.is_idb(a.predicate)
+    }
+    relevant = set(wanted)
+    for predicate in wanted:
+        relevant.update(p for p in graph.dependencies(predicate) if kb.is_idb(p))
+    return relevant
+
+
+def _analysis_entries(summary, predicates) -> list[PredicateAnalysis]:
+    """Render the summary's inferred facts for the relevant predicates."""
+    entries = []
+    for predicate in sorted(predicates):
+        domains = summary.column_domains(predicate) or ()
+        estimate = summary.cards.get(predicate)
+        entries.append(
+            PredicateAnalysis(
+                predicate=predicate,
+                modes=sorted(summary.adornments(predicate)),
+                columns=[domain.describe() for domain in domains],
+                rows="rows unknown" if estimate is None else estimate.describe(),
+                recursion=summary.recursion.get(predicate),
+            )
+        )
+    return entries
 
 
 def _steps_for(conjuncts, negated, executor, estimate) -> list[str]:
@@ -166,10 +244,7 @@ def _strata_for(
 ) -> list[StratumExplanation]:
     """Evaluation strata for the IDB predicates the conjunction needs."""
     graph = kb.dependency_graph()
-    wanted = {a.predicate for a in conjuncts if not a.is_comparison() and kb.is_idb(a.predicate)}
-    relevant = set(wanted)
-    for predicate in wanted:
-        relevant.update(p for p in graph.dependencies(predicate) if kb.is_idb(p))
+    relevant = _relevant_idb(kb, conjuncts)
     strata: list[StratumExplanation] = []
     for stratum in graph.evaluation_strata(set(kb.idb_predicates())):
         members = sorted(set(stratum) & relevant)
@@ -231,8 +306,24 @@ def explain_plan(
             )
     conjuncts: list[Atom] = [parsed.subject, *parsed.qualifier]
     negated = list(parsed.negated_qualifier)
-    estimate = _cold_estimator(kb)
-    notes = ["row estimates use stored EDB sizes; IDB sizes are unknown before execution"]
+    # Explain always renders the analysis; the planner flag only controls
+    # whether the *estimator* consumes it (mirroring actual evaluation).
+    from repro.analysis.absint.summary import planning_enabled, summary_for
+
+    summary = summary_for(kb)
+    if planning_enabled():
+        estimate = _cold_estimator(kb, summary)
+        notes = [
+            "row estimates use stored EDB sizes; "
+            "IDB sizes come from the analysis cardinality estimates"
+        ]
+    else:
+        estimate = _cold_estimator(kb)
+        notes = [
+            "row estimates use stored EDB sizes; "
+            "IDB sizes are unknown before execution"
+        ]
+    analysis = _analysis_entries(summary, _relevant_idb(kb, conjuncts + negated))
 
     if engine == "magic":
         from repro.engine.magic import magic_rewrite
@@ -277,4 +368,5 @@ def explain_plan(
         query_steps=query_steps,
         answer_variables=answer_variables,
         notes=notes,
+        analysis=analysis,
     )

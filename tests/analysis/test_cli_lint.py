@@ -29,7 +29,8 @@ def program(tmp_path):
 def lint(*argv):
     out, err = io.StringIO(), io.StringIO()
     parser = argparse.ArgumentParser()
-    parser.add_argument("files", nargs="+")
+    parser.add_argument("files", nargs="*")
+    parser.add_argument("--explain")
     parser.add_argument("--json", action="store_true")
     parser.add_argument(
         "--fail-on", choices=("error", "warning", "info", "never"),
@@ -135,3 +136,51 @@ class TestMainEntry:
     def test_main_clean_run(self, program, capsys):
         assert main(["lint", program(CLEAN)]) == 0
         assert "KB503" in capsys.readouterr().out  # info shown, not fatal
+
+
+class TestExplain:
+    def test_explain_prints_the_catalogue_entry(self):
+        code, out, _ = lint("--explain", "KB401")
+        assert code == 0
+        assert out.startswith("KB401 — unsatisfiable rule comparisons (warning)")
+        assert "pass: comparisons" in out
+        assert "example:" in out
+
+    def test_explain_is_case_insensitive(self):
+        code, out, _ = lint("--explain", "kb701")
+        assert code == 0
+        assert out.startswith("KB701")
+
+    def test_unknown_code_exits_two(self):
+        code, _, err = lint("--explain", "KB999")
+        assert code == 2
+        assert "unknown diagnostic code" in err
+
+    def test_no_files_and_no_explain_exits_two(self):
+        code, _, err = lint()
+        assert code == 2
+        assert "no files to lint" in err
+
+    def test_main_dispatches_explain(self, capsys):
+        assert main(["lint", "--explain", "KB502"]) == 0
+        assert "unreachable IDB predicate" in capsys.readouterr().out
+
+
+class TestCatalogue:
+    def test_every_registered_code_has_an_entry(self):
+        from repro.analysis.catalog import catalog_entry
+        from repro.analysis.registry import known_codes
+
+        for code in known_codes():
+            assert catalog_entry(code) is not None, code
+
+    def test_every_entry_example_triggers_its_code(self):
+        from repro.analysis.analyzer import analyze_source
+        from repro.analysis.catalog import all_entries
+
+        for entry in all_entries():
+            if not entry.example:
+                continue
+            report = analyze_source(entry.example)
+            codes = {d.code for d in report.diagnostics}
+            assert entry.code in codes, (entry.code, codes)

@@ -82,3 +82,32 @@ class TestAnalysisReport:
         report = AnalysisReport()
         report.extend([diag("KB101", Severity.ERROR)])
         assert report.format().endswith("1 error(s), 0 warning(s), 0 info")
+
+
+class TestGeneratedSpans:
+    """Rules built through the Python API carry spans without positions."""
+
+    def generated(self):
+        return Diagnostic(
+            code="KB702",
+            severity=Severity.WARNING,
+            message="m",
+            span=SourceSpan(None, None, None, None),
+        )
+
+    def test_positionless_span_renders_generated_marker(self):
+        text = self.generated().format("prog.dbk")
+        assert text.splitlines()[0] == "prog.dbk:<generated>: warning KB702: m"
+        assert "None" not in text
+
+    def test_positionless_span_without_path(self):
+        assert self.generated().format().startswith("<generated>: ")
+
+    def test_located_span_is_unchanged(self):
+        assert diag().format("p.dbk").startswith("p.dbk:3:1: ")
+
+    def test_finalize_tolerates_positionless_spans(self):
+        report = AnalysisReport()
+        report.extend([diag("KB101", line=2), self.generated()])
+        report.finalize()  # must not raise comparing None with int
+        assert [d.code for d in report] == ["KB702", "KB101"]

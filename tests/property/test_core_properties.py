@@ -11,7 +11,6 @@ The paper's omitted proofs, checked empirically:
   extension of the transformed predicate on random graphs.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -9,6 +9,9 @@ Every engine configuration the repo ships —
   (skipped silently when numpy is not importable),
 * top-down evaluation with call-pattern tabling,
 * magic-sets rewriting followed by semi-naive evaluation,
+* the batch executor again with analysis-informed planning forced off
+  (the purely syntactic join order — answers must not depend on the
+  abstract-interpretation summary),
 
 — must produce *identical* answer sets for every data query.  Hypothesis
 generates random safe programs (layered non-recursive programs with
@@ -50,26 +53,31 @@ def _numpy_available() -> bool:
     return True
 
 
-#: Every (engine, executor, columnar backend) triple under test; the first
-#: is the baseline.  ``None`` leaves the ambient backend decision alone;
-#: ``"numpy"`` forces the vector pipeline with the row floor at 1 so every
-#: delta takes the vectorized path.  The numpy config drops out of the
-#: matrix when numpy is not importable (optional accelerator, never a
-#: dependency).
+#: Every (engine, executor, columnar backend, analysis) tuple under test;
+#: the first is the baseline.  Backend ``None`` leaves the ambient backend
+#: decision alone; ``"numpy"`` forces the vector pipeline with the row
+#: floor at 1 so every delta takes the vectorized path (the numpy config
+#: drops out of the matrix when numpy is not importable).  Analysis
+#: ``None`` keeps the ambient planner default (analysis-informed);
+#: ``"off"`` pins the purely syntactic planner for the run.
 CONFIGS = (
-    ("seminaive", "batch", None),
-    ("seminaive", "nested", None),
-    ("seminaive", "kernel", None),
-    ("topdown", "batch", None),
-    ("magic", "batch", None),
-) + ((("seminaive", "kernel", "numpy"),) if _numpy_available() else ())
+    ("seminaive", "batch", None, None),
+    ("seminaive", "nested", None, None),
+    ("seminaive", "kernel", None, None),
+    ("topdown", "batch", None, None),
+    ("magic", "batch", None, None),
+    ("seminaive", "batch", None, "off"),
+) + ((("seminaive", "kernel", "numpy", None),) if _numpy_available() else ())
 
 
-def _answers(kb, subject, engine, executor, backend):
-    if backend is None:
-        return retrieve(kb, subject, engine=engine, executor=executor).to_set()
-    with backend_override(backend, min_rows=1):
-        return retrieve(kb, subject, engine=engine, executor=executor).to_set()
+def _answers(kb, subject, engine, executor, backend, analysis):
+    from repro.analysis.absint.summary import planning_override
+
+    with planning_override(False if analysis == "off" else None):
+        if backend is None:
+            return retrieve(kb, subject, engine=engine, executor=executor).to_set()
+        with backend_override(backend, min_rows=1):
+            return retrieve(kb, subject, engine=engine, executor=executor).to_set()
 
 
 def assert_engines_agree(kb, subject):

@@ -5,7 +5,7 @@ comparison conjunctions; the properties are the algebraic laws the engines
 and the describe machinery silently rely on.
 """
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.logic.atoms import Atom

@@ -15,7 +15,7 @@ are enforceable in offline development environments:
 
 Usage::
 
-    python tools/stylecheck.py src/repro tools benchmarks
+    python tools/stylecheck.py src/repro tools benchmarks tests/property
 
 Exit status 1 when any finding is reported, 0 when clean — the same
 contract as ``ruff check``.
@@ -151,7 +151,7 @@ def check_file(path: Path) -> list[str]:
 
 
 def main(argv: list[str]) -> int:
-    targets = argv or ["src/repro", "tools", "benchmarks"]
+    targets = argv or ["src/repro", "tools", "benchmarks", "tests/property"]
     files = iter_sources(targets)
     if not files:
         print(f"stylecheck: no Python files under {targets}", file=sys.stderr)
