@@ -22,6 +22,13 @@ backend off vs on over the recursive scenarios at the ``large`` tier's
 sizes (>= 50k derived facts, where whole-column probes have headroom) and
 records the per-scenario and median speedups.
 
+The ``server`` section drives a real loopback query server (the ``dbk
+serve`` wiring) with concurrent clients: a read-only phase and a
+readers-under-writes phase over the same mixed retrieve/describe traffic,
+reporting p50/p99 latency and throughput for each plus the p50 ratio
+between them — the number ``check_regression.py`` gates at <= 1.3x
+(MVCC snapshot reads must keep readers off the writer's path).
+
 Besides overwriting the current snapshot, every run appends a timestamped
 entry to ``BENCH_history.json`` so the perf trajectory survives across PRs.
 
@@ -463,6 +470,119 @@ def durability_metrics(sizes, repeats: int) -> dict:
     }
 
 
+#: The statements each benchmark client cycles through: row retrieval,
+#: intensional description, and a point lookup — the served read mix.
+SERVER_STATEMENTS = (
+    "retrieve honor(X)",
+    "describe honor(X)",
+    "retrieve can_ta(bob, databases)",
+)
+
+
+def _percentile(samples: list, fraction: float) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(len(ordered) * fraction))]
+
+
+def server_metrics(sizes, repeats: int) -> dict:
+    """Concurrent-traffic latency through the HTTP server, with and
+    without a live writer.
+
+    Both phases run the same mixed read traffic (three keep-alive clients
+    cycling :data:`SERVER_STATEMENTS`); the second adds a writer
+    committing definition batches at a steady cadence, so every commit
+    publishes a snapshot and invalidates the pooled readers' warm
+    sessions.  The tracked number is the ratio of the two p50s: snapshot
+    isolation promises readers never wait on the writer, so the mixed p50
+    should sit near the read-only p50 (the occasional cold re-evaluation
+    right after a publication lands in the p99, not the median).
+    """
+    import threading
+
+    from repro.server import MultiVersionCatalog, ServerClient, serve_in_thread
+
+    clients = 3
+    per_client = 30 * max(repeats, 3)
+    commits = max(repeats, 3)
+    catalog = MultiVersionCatalog(scaled_university_kb(sizes["students"], seed=11))
+    handle = serve_in_thread(catalog, pool_size=clients, trace=False)
+    try:
+
+        def read_phase() -> tuple[list, float]:
+            latencies: list[list] = [[] for _ in range(clients)]
+
+            def worker(index: int) -> None:
+                with ServerClient(
+                    handle.host, handle.port, client=f"bench{index}"
+                ) as connected:
+                    for warmup in range(len(SERVER_STATEMENTS)):
+                        connected.query(SERVER_STATEMENTS[warmup])
+                    for request in range(per_client):
+                        statement = SERVER_STATEMENTS[
+                            (index + request) % len(SERVER_STATEMENTS)
+                        ]
+                        start = time.perf_counter()
+                        connected.query(statement)
+                        latencies[index].append(time.perf_counter() - start)
+
+            threads = [
+                threading.Thread(target=worker, args=(index,))
+                for index in range(clients)
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - start
+            return [sample for per in latencies for sample in per], elapsed
+
+        read_lat, read_elapsed = read_phase()
+
+        def writer() -> None:
+            # Commits spread across (an estimate of) the read phase, so
+            # publications interleave with, not bracket, the traffic.
+            interval = read_elapsed / (commits + 1)
+            with ServerClient(handle.host, handle.port, client="writer") as w:
+                for index in range(commits):
+                    time.sleep(interval)
+                    w.commit(f"bench_epoch{index}(tick).")
+
+        writing = threading.Thread(target=writer)
+        writing.start()
+        mixed_lat, mixed_elapsed = read_phase()
+        writing.join()
+    finally:
+        handle.stop()
+
+    def phase(samples: list, elapsed: float) -> dict:
+        return {
+            "p50_ms": round(_percentile(samples, 0.50) * 1000, 3),
+            "p99_ms": round(_percentile(samples, 0.99) * 1000, 3),
+            "throughput_rps": round(len(samples) / elapsed, 1) if elapsed else None,
+            "requests": len(samples),
+        }
+
+    read_only = phase(read_lat, read_elapsed)
+    mixed = phase(mixed_lat, mixed_elapsed)
+    mixed["commits"] = commits
+    mixed["snapshots_published"] = catalog.current.snapshot_id
+    return {
+        "workload": {
+            "clients": clients,
+            "requests_per_client": per_client,
+            "statements": list(SERVER_STATEMENTS),
+        },
+        "read_only": read_only,
+        "readers_under_writes": mixed,
+        "mixed_over_read_p50": (
+            round(mixed["p50_ms"] / read_only["p50_ms"], 3)
+            if read_only["p50_ms"]
+            else None
+        ),
+    }
+
+
 #: The recursive scenarios the columnar (numpy on/off) pairing measures.
 COLUMNAR_SCENARIOS = (
     "recursive/chain",
@@ -597,6 +717,7 @@ def run_tier(tier: str, repeats: int | None = None) -> dict:
         "plan_cache": plan_cache_metrics(sizes, repeats),
         "analysis": analysis_metrics(sizes, repeats),
         "durability": durability_metrics(sizes, repeats),
+        "server": server_metrics(sizes, repeats),
         "columnar": columnar,
     }
 
@@ -625,6 +746,7 @@ def append_history(report: dict, path: Path) -> None:
             "plan_cache": report["plan_cache"],
             "analysis": report["analysis"],
             "durability": report["durability"],
+            "server": report["server"],
             "columnar": report["columnar"],
         }
     )
@@ -692,6 +814,22 @@ def main(argv=None) -> int:
     print(
         f"{'durability replay':40s} {replay['rows_per_s']} rows/s, "
         f"cold recover {replay['cold_recover_median_s']:.4f}s"
+    )
+    server = report["server"]
+    print(
+        f"{'server read_only':40s} p50 {server['read_only']['p50_ms']}ms / "
+        f"p99 {server['read_only']['p99_ms']}ms, "
+        f"{server['read_only']['throughput_rps']} req/s"
+    )
+    under_writes = server["readers_under_writes"]
+    print(
+        f"{'server readers_under_writes':40s} p50 {under_writes['p50_ms']}ms / "
+        f"p99 {under_writes['p99_ms']}ms, "
+        f"{under_writes['throughput_rps']} req/s "
+        f"({under_writes['commits']} commits)"
+    )
+    print(
+        f"{'server mixed/read p50':40s} {server['mixed_over_read_p50']}x"
     )
     columnar = report["columnar"]
     if columnar.get("available"):

@@ -10,11 +10,23 @@ from repro.catalog.schema import PredicateKind, PredicateSchema
 from repro.catalog.symbols import SYMBOLS, SymbolTable
 from repro.catalog.transaction import KBTransaction
 from repro.catalog.recovery import Recoverer, RecoveryReport, apply_event
+from repro.catalog.snapshot import (
+    Fingerprint,
+    KBSnapshot,
+    fingerprint_token,
+    kb_fingerprint,
+    publish_snapshot,
+)
 from repro.catalog.wal import Durability, DurableLog, open_durable
 
 __all__ = [
     "KnowledgeBase",
+    "KBSnapshot",
     "KBTransaction",
+    "Fingerprint",
+    "fingerprint_token",
+    "kb_fingerprint",
+    "publish_snapshot",
     "Durability",
     "DurableLog",
     "Recoverer",

@@ -15,6 +15,7 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.errors import (
     ArityError,
+    CatalogError,
     DuplicatePredicateError,
     IntegrityError,
     SchemaError,
@@ -68,6 +69,10 @@ class KnowledgeBase:
         #: bumps both past every mid-transaction value.
         self._rules_version = 0
         self._constraints_version = 0
+        #: A frozen knowledge base is the payload of a published
+        #: :class:`~repro.catalog.snapshot.KBSnapshot`: every mutator
+        #: raises, so concurrent readers need no locks.
+        self._frozen = False
 
     # -- transactions -------------------------------------------------------------
 
@@ -83,6 +88,7 @@ class KnowledgeBase:
         """
         from repro.catalog.transaction import KBTransaction  # local: avoid cycle
 
+        self._assert_mutable()
         if self._tx is not None:
             yield self._tx  # join the enclosing transaction
             return
@@ -97,6 +103,18 @@ class KnowledgeBase:
         else:
             self._tx = None
             tx.commit()
+
+    def _assert_mutable(self) -> None:
+        if self._frozen:
+            raise CatalogError(
+                "knowledge base belongs to a published snapshot and is "
+                "immutable; mutate the live knowledge base instead"
+            )
+
+    @property
+    def frozen(self) -> bool:
+        """Whether this knowledge base is a published, immutable snapshot."""
+        return self._frozen
 
     def _tx_touch(self, predicate: str) -> None:
         """Checkpoint a relation for the open transaction, if any."""
@@ -148,6 +166,7 @@ class KnowledgeBase:
         return schema
 
     def _register(self, schema: PredicateSchema) -> None:
+        self._assert_mutable()
         if is_builtin_predicate(schema.name):
             raise DuplicatePredicateError(
                 f"{schema.name} is a built-in predicate and cannot be redeclared"
@@ -203,6 +222,7 @@ class KnowledgeBase:
 
     def add_fact(self, predicate: str, *values: object) -> bool:
         """Store one fact; returns ``False`` when it was already present."""
+        self._assert_mutable()
         if not self.is_edb(predicate):
             if self.is_idb(predicate):
                 raise SchemaError(
@@ -244,6 +264,7 @@ class KnowledgeBase:
 
     def add_rule(self, rule: Rule) -> None:
         """Add one IDB rule, validating schema and recursion discipline."""
+        self._assert_mutable()
         head = rule.head
         if is_builtin_predicate(head.predicate):
             raise SchemaError(f"rule head may not be a built-in predicate: {head}")
@@ -351,6 +372,7 @@ class KnowledgeBase:
 
     def add_constraint(self, constraint: IntegrityConstraint) -> None:
         """Add an integrity constraint (used for validation, not inference)."""
+        self._assert_mutable()
         self._constraints.append(constraint)
         self._constraints_version += 1
         self._autocommit()

@@ -37,6 +37,16 @@ class Relation:
         if arity < 0:
             raise CatalogError(f"relation arity must be non-negative, got {arity}")
         self.arity = arity
+        #: A frozen relation belongs to a published :class:`KBSnapshot`
+        #: (:mod:`repro.catalog.snapshot`): every mutator raises, so readers
+        #: holding it need no locks.
+        self._frozen = False
+        #: Whether ``_rows``/``_introws`` are currently shared with a frozen
+        #: snapshot copy.  The first mutation after a :meth:`freeze` rebinds
+        #: them to private copies (copy-on-write), so publication itself is
+        #: O(1) per relation and the copy is paid only by relations that
+        #: actually change afterwards.
+        self._shared = False
         self._rows: dict[Row, None] = {}
         #: Index buckets are insertion-ordered ``dict[Row, None]`` sets:
         #: deterministic iteration like a list, O(1) delete unlike one.
@@ -77,6 +87,27 @@ class Relation:
 
     # -- mutation -----------------------------------------------------------------
 
+    def _assert_mutable(self) -> None:
+        if self._frozen:
+            raise CatalogError(
+                "relation belongs to a published snapshot and is immutable; "
+                "mutate the live knowledge base instead"
+            )
+
+    def _unshare(self) -> None:
+        """Privatize row storage shared with a frozen snapshot copy.
+
+        Called on entry to every in-place mutator: the frozen copy made by
+        :meth:`freeze` keeps the *original* dict/list, the live relation
+        continues on private copies.  Mutators that wholesale-rebind their
+        storage (:meth:`restore`, :meth:`clear`) just drop the shared flag.
+        """
+        if self._shared:
+            self._rows = dict(self._rows)
+            if self._introws is not None:
+                self._introws = list(self._introws)
+            self._shared = False
+
     def _coerce(self, row: Sequence[object]) -> Row:
         if len(row) != self.arity:
             raise ArityError(f"expected {self.arity} columns, got {len(row)}")
@@ -90,9 +121,11 @@ class Relation:
 
     def insert(self, row: Sequence[object]) -> bool:
         """Insert a row; returns ``False`` if it was already present."""
+        self._assert_mutable()
         coerced = self._coerce(row)
         if coerced in self._rows:
             return False
+        self._unshare()
         self._rows[coerced] = None
         self._version += 1
         self._log("+", coerced)
@@ -116,6 +149,7 @@ class Relation:
         version bumps, and the journal resets so incremental consumers
         recompute.  Returns how many rows were new.
         """
+        self._assert_mutable()
         if not int_rows:
             return 0
         extern_row = SYMBOLS.extern_row
@@ -123,6 +157,7 @@ class Relation:
         for row in rows:
             if len(row) != self.arity:
                 raise ArityError(f"expected {self.arity} columns, got {len(row)}")
+        self._unshare()
         before = len(self._rows)
         was_empty = before == 0
         self._rows.update(dict.fromkeys(rows))
@@ -147,6 +182,7 @@ class Relation:
         pass.  Mutation semantics match :meth:`load_interned`: derived
         structures drop, the version bumps, the journal resets.
         """
+        self._assert_mutable()
         count, width = block.shape
         if width != self.arity:
             raise ArityError(f"expected {self.arity} columns, got {width}")
@@ -156,6 +192,7 @@ class Relation:
             rows: list[Row] = [()]
         else:
             rows = SYMBOLS.extern_block(block.ravel().tolist(), width)
+        self._unshare()
         before = len(self._rows)
         was_empty = before == 0
         if was_empty:
@@ -179,9 +216,11 @@ class Relation:
 
         O(1) per maintained index: buckets are hash sets, not lists.
         """
+        self._assert_mutable()
         coerced = self._coerce(row)
         if coerced not in self._rows:
             return False
+        self._unshare()
         del self._rows[coerced]
         self._version += 1
         self._log("-", coerced)
@@ -198,7 +237,14 @@ class Relation:
 
     def clear(self) -> None:
         """Remove every row."""
-        self._rows.clear()
+        self._assert_mutable()
+        if self._shared:
+            # The frozen snapshot copy keeps the old dict; no point copying
+            # rows only to clear them.
+            self._rows = {}
+            self._shared = False
+        else:
+            self._rows.clear()
         self._invalidate_derived()
 
     def _invalidate_derived(self) -> None:
@@ -430,6 +476,48 @@ class Relation:
         clone._introws = None  # rebuilt lazily, like the indexes
         return clone
 
+    def freeze(self) -> "Relation":
+        """An immutable copy sharing row storage with this relation — O(1).
+
+        The copy takes the *current* ``_rows`` dict, interned mirror, and
+        columnar blocks by reference and keeps this relation's version
+        number, so caches keyed on ``(relation, version)`` — the view
+        cache's dependency fingerprints above all — remain valid across
+        the freeze.  This relation is marked shared: its next in-place
+        mutation privatizes the storage (see :meth:`_unshare`), leaving
+        the frozen copy untouched.  Index buckets and the change journal
+        are *not* shared — live mutators update them in place — so the
+        frozen copy rebuilds indexes lazily and reports no deltas.
+
+        Frozen copies are safe for concurrent readers without locks:
+        every mutator raises, and the remaining lazy memoizations
+        (indexes, statistics, columnar blocks) are idempotent rebinds.
+        """
+        if self._frozen:
+            return self
+        clone = Relation.__new__(Relation)
+        clone.arity = self.arity
+        clone._frozen = True
+        clone._shared = False
+        clone._rows = self._rows
+        clone._indexes = {}
+        clone._version = self._version
+        clone._stats = dict(self._stats)
+        clone._journal = deque()
+        clone._journal_base = self._version
+        clone.journal_resets = self.journal_resets
+        clone._introws = self._introws
+        clone._block = self._block
+        clone._intblock = self._intblock
+        clone._rowseq = self._rowseq
+        self._shared = True
+        return clone
+
+    @property
+    def frozen(self) -> bool:
+        """Whether this relation belongs to a published snapshot."""
+        return self._frozen
+
     # -- transactions -----------------------------------------------------------------
 
     def checkpoint(self) -> dict[Row, None]:
@@ -446,5 +534,7 @@ class Relation:
         version is bumped past every mid-transaction value, so external
         caches keyed on ``(relation, version)`` cannot serve stale state.
         """
+        self._assert_mutable()
         self._rows = dict(snapshot)
+        self._shared = False  # rebinding privatizes the row storage
         self._invalidate_derived()

@@ -9,6 +9,7 @@ Usage::
     dbk explain "honor(X)"   # render the evaluation plan without running
     dbk profile "honor(X)"   # run traced, print the per-rule hot-spot table
     dbk retrieve --trace t.json "honor(X)"   # run and save the span tree
+    dbk serve --dataset university           # concurrent HTTP/JSON server
 
 Inside the shell, type any statement of the language::
 
@@ -29,6 +30,10 @@ JSON (``--trace FILE``).  See ``docs/OBSERVABILITY.md``.
 ``dbk cache`` (a subcommand) demonstrates the materialized view cache on a
 bundled dataset: it runs a cold query, warm repeats, and a
 mutate-then-requery round, then prints the cache statistics and speedup.
+
+``dbk serve`` (a subcommand) serves the knowledge base to concurrent
+clients over HTTP/JSON with MVCC snapshot reads, QoS-tier admission
+control, and graceful drain on SIGINT; see ``docs/SERVER.md``.
 
 ``dbk lint`` (a subcommand) runs the static analyzer over definition files
 and reports source-located diagnostics; see ``docs/LINT.md``.  Exit codes:
@@ -387,6 +392,67 @@ def run_log(args: argparse.Namespace, out=None) -> int:
     return 0
 
 
+def run_serve(args: argparse.Namespace, out=None) -> int:
+    """``dbk serve``: the concurrent HTTP/JSON query server (docs/SERVER.md).
+
+    Startup prints the bound address (``--port 0`` picks a free port);
+    ``^C`` drains gracefully — in-flight requests finish (bounded by
+    ``--drain-timeout``), new ones get 503, then the process exits 0.
+    """
+    import asyncio
+
+    from repro.server import KnowledgeServer, MultiVersionCatalog
+
+    out = out if out is not None else sys.stdout
+    # With --durable, an existing directory is recovered and must not be
+    # seeded; pass a kb only when the user asked for a bundled dataset.
+    kb = _build_kb(args) if (args.durable is None or args.dataset) else None
+    catalog = MultiVersionCatalog(kb=kb, durable=args.durable)
+    if args.load:
+        loader = Session(catalog.kb, cache=False, plan_cache=False)
+        with open(args.load) as handle:
+            count = loader.load(handle.read())
+        catalog.republish()
+        print(f"loaded {count} definitions from {args.load}", file=out)
+
+    async def serve() -> None:
+        server = KnowledgeServer(
+            catalog,
+            host=args.host,
+            port=args.port,
+            pool_size=args.pool_size,
+            engine=args.engine,
+            trace=not args.no_trace,
+            drain_timeout=args.drain_timeout,
+        )
+        await server.start()
+        snapshot = catalog.current
+        print(
+            f"dbk serve: http://{server.host}:{server.port} "
+            f"(snapshot {snapshot.snapshot_id}/{snapshot.token}, "
+            f"pool {server.pool.size}, tiers {sorted(server.tiers)})",
+            file=out,
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        # Python 3.10 surfaces ^C as KeyboardInterrupt after cancelling
+        # serve(); 3.11+ resolves the cancelled task normally instead.
+        pass
+    finally:
+        catalog.close()
+    # Every exit path of serve() goes through server.stop()'s drain.
+    print("drained, exiting", file=out)
+    return 0
+
+
 def run_lint(args: argparse.Namespace, out=None, err=None) -> int:
     """``dbk lint``: static analysis over definition files (CI-gradable)."""
     from repro.analysis.analyzer import analyze_source
@@ -603,6 +669,58 @@ def main(argv: list[str] | None = None) -> int:
             help="suppress a diagnostic code, e.g. KB503 (repeatable)",
         )
         return run_lint(lint_parser.parse_args(argv[1:]))
+    if argv and argv[0] == "serve":
+        serve_parser = argparse.ArgumentParser(
+            prog="dbk serve",
+            description="serve the knowledge base to concurrent clients over "
+            "HTTP/JSON with MVCC snapshot reads (see docs/SERVER.md)",
+        )
+        serve_parser.add_argument(
+            "--dataset", choices=_DATASETS, help="start from a bundled database"
+        )
+        serve_parser.add_argument(
+            "--load", metavar="FILE", help="load a definition file first"
+        )
+        serve_parser.add_argument(
+            "--durable", metavar="DIR",
+            help="crash-safe persistence: write-ahead log and snapshots in DIR "
+            "(an existing DIR is recovered on startup)",
+        )
+        serve_parser.add_argument(
+            "--host", default="127.0.0.1", help="bind address (default: loopback)"
+        )
+        serve_parser.add_argument(
+            "--port", type=int, default=7411,
+            help="TCP port; 0 picks a free one (default: 7411)",
+        )
+        serve_parser.add_argument(
+            "--pool-size", type=int, default=4, metavar="N",
+            help="reader session slots (worker threads; default: 4)",
+        )
+        serve_parser.add_argument(
+            "--engine", choices=("seminaive", "topdown", "magic"),
+            default="seminaive", help="evaluation engine for reads",
+        )
+        serve_parser.add_argument(
+            "--no-trace", action="store_true",
+            help="disable per-request server spans",
+        )
+        serve_parser.add_argument(
+            "--drain-timeout", type=float, default=5.0, metavar="SECONDS",
+            help="how long a graceful shutdown waits for in-flight requests",
+        )
+        parsed = serve_parser.parse_args(argv[1:])
+        if parsed.pool_size < 1:
+            serve_parser.error("--pool-size must be at least 1")
+        if parsed.port < 0 or parsed.port > 65535:
+            serve_parser.error("--port must be in 0..65535")
+        if parsed.drain_timeout < 0:
+            serve_parser.error("--drain-timeout must be non-negative")
+        try:
+            return run_serve(parsed)
+        except (OSError, ReproError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     if argv and argv[0] in ("snapshot", "recover", "log"):
         command = argv[0]
         descriptions = {

@@ -222,6 +222,30 @@ class QueryCancelled(ResourceExhausted):
         ResourceExhausted.__init__(self, message, **fields)  # type: ignore[arg-type]
 
 
+class ServerError(ReproError):
+    """Errors raised by the concurrent query server (:mod:`repro.server`)."""
+
+
+class AdmissionError(ServerError, ResourceExhausted):
+    """A request was rejected at admission control (QoS tier exhausted).
+
+    Raised before any evaluation starts: the client's tier had no free
+    slot and its queue was full (or the queue wait timed out).  The HTTP
+    front end maps it to ``429 Too Many Requests``.  ``tier`` names the
+    QoS tier that rejected the request; the inherited
+    :class:`ResourceExhausted` fields carry the structured budget data
+    (``budget="admission"``, consumed/limit = queued/queue capacity).
+    """
+
+    def __init__(
+        self, message: str = "admission rejected", *, tier: str | None = None,
+        **fields: object,
+    ) -> None:
+        fields.setdefault("budget", "admission")
+        ResourceExhausted.__init__(self, message, **fields)  # type: ignore[arg-type]
+        self.tier = tier
+
+
 class CoreError(ReproError):
     """Errors raised by the knowledge-query (describe) core."""
 

@@ -1,0 +1,36 @@
+"""Concurrent query server: MVCC snapshot reads over one live catalog.
+
+The paper's framing — the knowledge base as a shared knowledge layer over
+ordinary databases — only matters if many clients can query it at once.
+This package is the front door: an asyncio HTTP/JSON server
+(:class:`~repro.server.http.KnowledgeServer`) over a
+:class:`~repro.server.catalog.MultiVersionCatalog`.  Writers commit
+through ordinary :class:`~repro.catalog.transaction.KBTransaction` spans
+and each commit publishes an immutable
+:class:`~repro.catalog.snapshot.KBSnapshot`; readers pin the snapshot
+current at request start and evaluate on a pooled
+:class:`~repro.session.Session` without ever blocking a writer (or being
+blocked by one).  Admission control reuses
+:class:`~repro.engine.guard.ResourceGuard` budgets as QoS tiers
+(:mod:`repro.server.qos`).  See ``docs/SERVER.md``.
+"""
+
+from repro.server.catalog import MultiVersionCatalog
+from repro.server.client import ServerClient, ServerClientError
+from repro.server.http import KnowledgeServer, ServerHandle, serve_in_thread
+from repro.server.pool import QueryOutcome, SessionPool
+from repro.server.qos import QosTier, TierState, default_tiers
+
+__all__ = [
+    "MultiVersionCatalog",
+    "KnowledgeServer",
+    "ServerHandle",
+    "serve_in_thread",
+    "ServerClient",
+    "ServerClientError",
+    "SessionPool",
+    "QueryOutcome",
+    "QosTier",
+    "TierState",
+    "default_tiers",
+]

@@ -1,0 +1,146 @@
+"""A small blocking client for the query server (stdlib ``http.client``).
+
+For tests, benchmarks, and scripts on the same machine; anything that can
+speak HTTP/JSON is a valid client.  One :class:`ServerClient` holds one
+keep-alive connection and is *not* thread-safe — give each thread its own
+(they are cheap).  Non-2xx responses raise :class:`ServerClientError`
+carrying the HTTP status and the structured error object, so callers can
+distinguish admission rejection (429) from budget exhaustion (408) from a
+bad statement (400) without string matching.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+from repro.errors import ServerError
+
+
+class ServerClientError(ServerError):
+    """A non-2xx server response, with its status and error payload."""
+
+    def __init__(self, status: int, error: dict) -> None:
+        message = error.get("message", "server error")
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.error = error
+
+    @property
+    def error_type(self) -> str:
+        """The server-side exception class name (e.g. ``AdmissionError``)."""
+        return str(self.error.get("type", "unknown"))
+
+
+class ServerClient:
+    """One keep-alive connection to a :class:`~repro.server.http.KnowledgeServer`.
+
+    ``client`` names this client in requests (it lands in request spans);
+    ``tier`` is the default QoS tier for :meth:`query`.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        client: str = "client",
+        tier: str = "interactive",
+        timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.client = client
+        self.tier = tier
+        self.timeout = timeout
+        self._connection: http.client.HTTPConnection | None = None
+        #: The highest snapshot id seen in any response: published versions
+        #: are monotone, so this must never observe a decrease (the
+        #: isolation property suite asserts exactly that).
+        self.last_snapshot_id = -1
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._connection
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- transport -----------------------------------------------------------------
+
+    def request(self, method: str, path: str, body: dict | None = None) -> dict:
+        """One round trip; returns the JSON payload or raises.
+
+        Retries once on a dropped keep-alive connection (the server may
+        have closed an idle one between requests).
+        """
+        encoded = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if encoded else {}
+        for attempt in (0, 1):
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=encoded, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+                break
+            except (ConnectionError, http.client.HTTPException, OSError):
+                self.close()
+                if attempt:
+                    raise
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except json.JSONDecodeError as error:
+            raise ServerError(f"malformed server response: {error}") from None
+        if response.status >= 300:
+            raise ServerClientError(response.status, payload.get("error", {}))
+        snapshot = payload.get("snapshot")
+        if isinstance(snapshot, dict) and isinstance(snapshot.get("id"), int):
+            self.last_snapshot_id = max(self.last_snapshot_id, snapshot["id"])
+        return payload
+
+    # -- endpoints -----------------------------------------------------------------
+
+    def query(
+        self,
+        statement: str,
+        tier: str | None = None,
+        trace: bool = False,
+    ) -> dict:
+        """Evaluate one read statement; returns the response envelope."""
+        return self.request(
+            "POST",
+            "/query",
+            {
+                "statement": statement,
+                "tier": tier if tier is not None else self.tier,
+                "client": self.client,
+                "trace": trace,
+            },
+        )
+
+    def commit(self, *statements: str) -> dict:
+        """Apply definition statements as one transaction + publication."""
+        return self.request("POST", "/commit", {"statements": list(statements)})
+
+    def snapshot(self) -> dict:
+        """The currently published snapshot's attribution and versions."""
+        return self.request("GET", "/snapshot")["snapshot"]
+
+    def stats(self) -> dict:
+        """Server counters: requests, tiers, pool, catalog."""
+        return self.request("GET", "/stats")
+
+    def health(self) -> dict:
+        """Liveness/drain status (never 503 — health is always answerable)."""
+        return self.request("GET", "/healthz")

@@ -1,0 +1,124 @@
+"""The JSON wire protocol: result payloads and error/status mapping.
+
+Responses are JSON objects with a stable envelope::
+
+    {"ok": true,  "snapshot": {"id": 3, "token": "9f2c…"}, "kind": "...",
+     "result": …, "rendered": "…", "elapsed_ms": 1.8}
+    {"ok": false, "error": {"type": "AdmissionError", "message": "…",
+     "budget": "admission", "tier": "interactive"}}
+
+``snapshot`` attributes every read to exactly one published version (see
+:mod:`repro.catalog.snapshot`).  ``result`` is a structured rendering per
+result kind; ``rendered`` is the same human text the ``dbk`` shell would
+print.  Status codes: 200 ok, 400 bad statement, 404 unknown path, 408
+budget exhausted, 429 admission rejected, 500 internal, 503 draining.
+"""
+
+from __future__ import annotations
+
+from repro.core.answers import DescribeResult
+from repro.core.compare import ConceptComparison
+from repro.core.necessity import NecessityResult
+from repro.core.possibility import PossibilityResult
+from repro.engine.evaluate import RetrieveResult
+from repro.errors import (
+    AdmissionError,
+    LanguageError,
+    ReproError,
+    ResourceExhausted,
+    ServerError,
+)
+
+#: HTTP status for each error class of the envelope (most specific first).
+STATUS_TOO_MANY = 429
+STATUS_TIMEOUT = 408
+STATUS_BAD_REQUEST = 400
+STATUS_NOT_FOUND = 404
+STATUS_INTERNAL = 500
+STATUS_DRAINING = 503
+
+
+def _diagnostics_payload(result: object) -> dict | None:
+    diagnostics = getattr(result, "diagnostics", None)
+    if diagnostics is None:
+        return None
+    return {
+        "complete": diagnostics.complete,
+        "budget": diagnostics.budget,
+        "consumed": diagnostics.consumed,
+        "limit": diagnostics.limit,
+    }
+
+
+def result_payload(result: object) -> tuple[str, object]:
+    """``(kind, structured payload)`` for any session query result.
+
+    Retrieve answers ship their bindings as plain JSON values
+    (:attr:`Constant.value <repro.logic.terms.Constant.value>` is always a
+    ``str``/``int``/``float``/``bool``); knowledge-query answers ship
+    their rule texts — the paper's intensional answers are rules, and rule
+    text is their canonical serialization.
+    """
+    if isinstance(result, RetrieveResult):
+        return "retrieve", {
+            "subject": str(result.subject),
+            "variables": [variable.name for variable in result.variables],
+            "rows": [[constant.value for constant in row] for row in result.rows],
+            "boolean": result.boolean,
+            "diagnostics": _diagnostics_payload(result),
+        }
+    if isinstance(result, DescribeResult):
+        return "describe", {
+            "rules": [str(rule) for rule in result.rules()],
+            "contradiction": bool(getattr(result, "contradiction", False)),
+            "diagnostics": _diagnostics_payload(result),
+        }
+    if isinstance(result, (NecessityResult, PossibilityResult)):
+        kind = "necessity" if isinstance(result, NecessityResult) else "possibility"
+        return kind, {
+            "verdict": bool(result),
+            "rendered": str(result),
+        }
+    if isinstance(result, ConceptComparison):
+        return "compare", {"rendered": str(result)}
+    if isinstance(result, dict):  # wildcard describe: predicate -> DescribeResult
+        return "describe_wildcard", {
+            predicate: result_payload(sub)[1] for predicate, sub in result.items()
+        }
+    if isinstance(result, str):  # definition acknowledgement
+        return "ack", result
+    return type(result).__name__, str(result)
+
+
+def error_payload(error: BaseException) -> tuple[int, dict]:
+    """``(HTTP status, error object)`` for any request failure.
+
+    The structured :class:`~repro.errors.ResourceExhausted` fields survive
+    the wire, so a client can tell a deadline trip from a fact-budget trip
+    without parsing prose; :class:`~repro.errors.AdmissionError` adds the
+    rejecting tier.
+    """
+    payload: dict = {
+        "type": type(error).__name__,
+        "message": str(error),
+    }
+    if isinstance(error, AdmissionError):
+        payload["tier"] = error.tier
+        payload["budget"] = error.budget
+        return STATUS_TOO_MANY, payload
+    if isinstance(error, ResourceExhausted):
+        payload["budget"] = error.budget
+        payload["consumed"] = _jsonable(error.consumed)
+        payload["limit"] = _jsonable(error.limit)
+        return STATUS_TIMEOUT, payload
+    if isinstance(error, ServerError):
+        return STATUS_BAD_REQUEST, payload
+    if isinstance(error, (LanguageError, ReproError)):
+        return STATUS_BAD_REQUEST, payload
+    return STATUS_INTERNAL, payload
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

@@ -1,0 +1,178 @@
+"""Quality-of-service tiers: ResourceGuard budgets as admission control.
+
+The engine already has one resource-governance vocabulary —
+:class:`~repro.engine.guard.ResourceGuard` deadlines and fact/step
+budgets.  The server reuses it as QoS tiers: a :class:`QosTier` pairs a
+guard *specification* (applied fresh to every admitted query) with
+concurrency limits (how many requests of that tier may evaluate at once,
+how many may wait, and for how long).  A request that cannot be admitted
+fails fast with :class:`~repro.errors.AdmissionError` — HTTP 429 — before
+any evaluation work happens; an admitted request that overruns its
+guard's budgets fails with :class:`~repro.errors.ResourceExhausted` —
+HTTP 408.  See ``docs/SERVER.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import asynccontextmanager
+from dataclasses import dataclass, field
+
+from repro.engine.guard import ResourceGuard
+from repro.errors import AdmissionError
+
+
+@dataclass(frozen=True)
+class QosTier:
+    """One admission class: per-query budgets plus concurrency limits.
+
+    ``guard`` is a specification — every admitted request runs under a
+    fresh activation of it (per-query deadline and counters), exactly like
+    a session-level guard.  ``None`` means ungoverned queries (trusted
+    tier).  ``max_active`` bounds concurrent evaluations; up to
+    ``max_queued`` further requests wait at most ``queue_timeout`` seconds
+    for a slot before being rejected.
+    """
+
+    name: str
+    guard: ResourceGuard | None = None
+    max_active: int = 4
+    max_queued: int = 16
+    queue_timeout: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_active < 1:
+            raise ValueError(f"max_active must be at least 1, got {self.max_active}")
+        if self.max_queued < 0:
+            raise ValueError(f"max_queued must be non-negative, got {self.max_queued}")
+        if self.queue_timeout < 0:
+            raise ValueError(
+                f"queue_timeout must be non-negative, got {self.queue_timeout}"
+            )
+
+
+def default_tiers(pool_size: int = 4) -> dict[str, QosTier]:
+    """The stock tier table, scaled to the session pool size.
+
+    ``interactive``
+        the default tier: short deadline, modest fact budget, small queue
+        — a latency class.
+    ``batch``
+        long deadline, large fact budget, deep queue, but fewer
+        concurrent slots — a throughput class that cannot starve
+        interactive traffic.
+    ``admin``
+        ungoverned, one slot, no queue: health checks and operators.
+    """
+    interactive = max(1, pool_size)
+    batch = max(1, pool_size // 2)
+    return {
+        "interactive": QosTier(
+            "interactive",
+            guard=ResourceGuard(deadline=2.0, max_facts=200_000, mode="strict"),
+            max_active=interactive,
+            max_queued=4 * interactive,
+            queue_timeout=1.0,
+        ),
+        "batch": QosTier(
+            "batch",
+            guard=ResourceGuard(deadline=30.0, max_facts=5_000_000, mode="strict"),
+            max_active=batch,
+            max_queued=16 * batch,
+            queue_timeout=5.0,
+        ),
+        "admin": QosTier("admin", guard=None, max_active=1, max_queued=0,
+                         queue_timeout=0.0),
+    }
+
+
+@dataclass
+class TierState:
+    """Runtime admission state of one tier (single event loop only).
+
+    The counters are plain ints mutated on the event-loop thread; the
+    semaphore provides the actual back-pressure.  :meth:`slot` is the one
+    entry point: an async context manager that either yields an admitted
+    slot or raises :class:`~repro.errors.AdmissionError`.
+    """
+
+    tier: QosTier
+    active: int = 0
+    queued: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    timed_out: int = 0
+    exhausted: int = 0
+    _semaphore: asyncio.Semaphore | None = field(default=None, repr=False)
+
+    def _sem(self) -> asyncio.Semaphore:
+        # Created lazily on first use so TierState can be built before the
+        # event loop exists (Python 3.10 semaphores bind their loop early).
+        if self._semaphore is None:
+            self._semaphore = asyncio.Semaphore(self.tier.max_active)
+        return self._semaphore
+
+    @asynccontextmanager
+    async def slot(self):
+        """Admit one request, or raise :class:`AdmissionError` (HTTP 429).
+
+        Rejection is immediate when the wait queue is full, and after
+        ``queue_timeout`` seconds when it is merely busy.  The slot is
+        released on exit however the request ends.
+        """
+        semaphore = self._sem()
+        if self.active >= self.tier.max_active and self.queued >= self.tier.max_queued:
+            self.rejected += 1
+            raise AdmissionError(
+                f"tier {self.tier.name!r} queue is full "
+                f"({self.queued} waiting, limit {self.tier.max_queued})",
+                tier=self.tier.name,
+                consumed=self.queued,
+                limit=self.tier.max_queued,
+            )
+        self.queued += 1
+        try:
+            if not semaphore.locked():
+                # No await between the check and the acquire, so the free
+                # slot cannot be stolen; this also keeps zero-timeout tiers
+                # (admin) admittable — wait_for(…, 0) always times out.
+                await semaphore.acquire()
+            else:
+                await asyncio.wait_for(semaphore.acquire(), self.tier.queue_timeout)
+        except asyncio.TimeoutError:
+            self.rejected += 1
+            self.timed_out += 1
+            raise AdmissionError(
+                f"tier {self.tier.name!r} admission timed out after "
+                f"{self.tier.queue_timeout}s",
+                tier=self.tier.name,
+                consumed=self.tier.queue_timeout,
+                limit=self.tier.queue_timeout,
+            ) from None
+        finally:
+            self.queued -= 1
+        self.active += 1
+        self.admitted += 1
+        try:
+            yield self
+        finally:
+            self.active -= 1
+            semaphore.release()
+
+    def fresh_guard(self) -> ResourceGuard | None:
+        """A per-request activation of the tier's guard specification."""
+        return self.tier.guard.fresh() if self.tier.guard is not None else None
+
+    def stats(self) -> dict:
+        """JSON-friendly admission counters for ``/stats`` and traces."""
+        return {
+            "tier": self.tier.name,
+            "active": self.active,
+            "queued": self.queued,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "timed_out": self.timed_out,
+            "exhausted": self.exhausted,
+            "max_active": self.tier.max_active,
+            "max_queued": self.tier.max_queued,
+        }

@@ -1,0 +1,110 @@
+"""Unit tests for the snapshot-pinned session pool (:mod:`repro.server.pool`)."""
+
+import asyncio
+
+import pytest
+
+from repro.engine.guard import ResourceGuard
+from repro.errors import ResourceExhausted
+from repro.server import MultiVersionCatalog, SessionPool
+from tests.faultinject.test_atomicity import chain_kb
+
+
+@pytest.fixture()
+def catalog():
+    return MultiVersionCatalog(chain_kb(6))
+
+
+class TestQuerySync:
+    def test_outcome_is_attributed_to_the_pinned_snapshot(self, catalog):
+        pool = SessionPool(size=1)
+        try:
+            snapshot = catalog.current
+            outcome = pool.query_sync(snapshot, "retrieve path(0, Y)")
+            assert outcome.snapshot is snapshot
+            assert outcome.elapsed_s >= 0
+            values = {row[0].value for row in outcome.result.to_set()}
+            assert values == {1, 2, 3, 4, 5, 6}
+        finally:
+            pool.shutdown()
+
+    def test_slot_session_is_reused_until_the_snapshot_moves(self, catalog):
+        pool = SessionPool(size=1)
+        try:
+            pool.query_sync(catalog.current, "retrieve path(0, Y)")
+            pool.query_sync(catalog.current, "retrieve path(1, Y)")
+            assert pool.session_builds == 1
+            assert pool.queries == 2
+            catalog.commit(lambda kb: kb.add_fact("edge", 6, 7))
+            pool.query_sync(catalog.current, "retrieve path(0, Y)")
+            assert pool.session_builds == 2
+        finally:
+            pool.shutdown()
+
+    def test_guard_override_applies_per_query(self, catalog):
+        pool = SessionPool(size=1)
+        try:
+            guard = ResourceGuard(max_facts=1, mode="strict")
+            with pytest.raises(ResourceExhausted):
+                pool.query_sync(catalog.current, "retrieve path(X, Y)", guard=guard)
+            # The guard governed one statement only; the next is clean.
+            outcome = pool.query_sync(catalog.current, "retrieve path(0, Y)")
+            assert outcome.result.rows
+        finally:
+            pool.shutdown()
+
+    def test_traced_pool_emits_server_request_spans(self, catalog):
+        pool = SessionPool(size=1, trace=True)
+        try:
+            outcome = pool.query_sync(
+                catalog.current,
+                "retrieve path(0, Y)",
+                attributes={"tier": "interactive", "client": "unit"},
+            )
+            assert outcome.trace is not None
+            assert outcome.trace["name"] == "server.request"
+            attributes = outcome.trace["attributes"]
+            assert attributes["snapshot_id"] == catalog.current.snapshot_id
+            assert attributes["snapshot_token"] == catalog.current.token
+            assert attributes["tier"] == "interactive"
+            # The session's own query span nests inside the request span.
+            assert any(
+                child["name"] == "query" for child in outcome.trace["children"]
+            )
+        finally:
+            pool.shutdown()
+
+
+class TestAsyncQuery:
+    def test_query_runs_off_the_event_loop(self, catalog):
+        pool = SessionPool(size=2)
+
+        async def scenario():
+            outcomes = await asyncio.gather(
+                pool.query(catalog.current, "retrieve path(0, Y)"),
+                pool.query(catalog.current, "retrieve path(1, Y)"),
+            )
+            return outcomes
+
+        try:
+            outcomes = asyncio.run(scenario())
+            assert all(outcome.result.rows for outcome in outcomes)
+            assert pool.queries == 2
+        finally:
+            pool.shutdown()
+
+
+def test_pool_size_validation():
+    with pytest.raises(ValueError):
+        SessionPool(size=0)
+
+
+def test_stats_shape(catalog):
+    pool = SessionPool(size=3, engine="seminaive", trace=False)
+    try:
+        stats = pool.stats()
+        assert stats["size"] == 3
+        assert stats["engine"] == "seminaive"
+        assert stats["queries"] == 0
+    finally:
+        pool.shutdown()

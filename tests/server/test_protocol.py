@@ -1,0 +1,79 @@
+"""Unit tests for the JSON wire protocol (:mod:`repro.server.protocol`)."""
+
+from repro.core.describe import describe
+from repro.engine import retrieve
+from repro.errors import (
+    AdmissionError,
+    EvaluationLimitError,
+    ParseError,
+    ServerError,
+)
+from repro.lang.parser import parse_atom, parse_rule
+from repro.server.protocol import error_payload, result_payload
+from tests.catalog.test_snapshot import small_kb
+
+
+class TestResultPayload:
+    def test_retrieve_rows(self):
+        result = retrieve(small_kb(), parse_atom("path(X, Y)"))
+        kind, payload = result_payload(result)
+        assert kind == "retrieve"
+        assert payload["variables"] == ["X", "Y"]
+        assert ["a", "b"] in payload["rows"]
+        assert ["a", "c"] in payload["rows"]
+        assert payload["boolean"] is True  # yes/no reading: any rows at all
+        assert payload["diagnostics"] is None  # no guard, no budget report
+
+    def test_retrieve_boolean(self):
+        kind, payload = result_payload(retrieve(small_kb(), parse_atom("path(a, c)")))
+        assert kind == "retrieve"
+        assert payload["boolean"] is True
+        assert payload["rows"] == [[]]
+
+    def test_describe_rules_are_texts(self):
+        result = describe(small_kb(), parse_atom("path(X, Y)"))
+        kind, payload = result_payload(result)
+        assert kind == "describe"
+        assert any("edge(X, Y)" in rule for rule in payload["rules"])
+        assert payload["contradiction"] is False
+
+    def test_definition_ack_is_a_string(self):
+        kind, payload = result_payload("defined path/2")
+        assert kind == "ack"
+        assert payload == "defined path/2"
+
+    def test_payloads_are_json_serializable(self):
+        import json
+
+        result = retrieve(small_kb(), parse_atom("path(X, Y)"))
+        json.dumps(result_payload(result)[1])
+
+
+class TestErrorPayload:
+    def test_admission_maps_to_429_with_tier(self):
+        status, payload = error_payload(
+            AdmissionError("queue full", tier="interactive", consumed=4, limit=4)
+        )
+        assert status == 429
+        assert payload["type"] == "AdmissionError"
+        assert payload["tier"] == "interactive"
+        assert payload["budget"] == "admission"
+
+    def test_exhaustion_maps_to_408_with_budget_fields(self):
+        status, payload = error_payload(
+            EvaluationLimitError("too many facts", budget="facts",
+                                 consumed=12, limit=10)
+        )
+        assert status == 408
+        assert payload["budget"] == "facts"
+        assert payload["consumed"] == 12
+        assert payload["limit"] == 10
+
+    def test_bad_requests_map_to_400(self):
+        assert error_payload(ServerError("bad body"))[0] == 400
+        assert error_payload(ParseError("bad statement", 1, 1))[0] == 400
+
+    def test_unexpected_errors_map_to_500(self):
+        status, payload = error_payload(ValueError("boom"))
+        assert status == 500
+        assert payload["type"] == "ValueError"

@@ -1,0 +1,125 @@
+"""Unit tests for QoS tiers and admission control (:mod:`repro.server.qos`)."""
+
+import asyncio
+
+import pytest
+
+from repro.engine.guard import ResourceGuard
+from repro.errors import AdmissionError
+from repro.server import QosTier, TierState, default_tiers
+
+
+class TestQosTier:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QosTier("bad", max_active=0)
+        with pytest.raises(ValueError):
+            QosTier("bad", max_queued=-1)
+        with pytest.raises(ValueError):
+            QosTier("bad", queue_timeout=-0.1)
+
+    def test_default_tier_table(self):
+        tiers = default_tiers(pool_size=4)
+        assert set(tiers) == {"interactive", "batch", "admin"}
+        assert tiers["interactive"].guard is not None
+        assert tiers["interactive"].guard.mode == "strict"
+        # Batch trades slots for budget: fewer active, bigger limits.
+        assert tiers["batch"].max_active <= tiers["interactive"].max_active
+        assert tiers["batch"].guard.deadline > tiers["interactive"].guard.deadline
+        # Admin is the trusted escape hatch: ungoverned, no queue.
+        assert tiers["admin"].guard is None
+        assert tiers["admin"].max_queued == 0
+
+    def test_fresh_guard_is_a_new_activation(self):
+        state = TierState(QosTier("t", guard=ResourceGuard(max_facts=10)))
+        first, second = state.fresh_guard(), state.fresh_guard()
+        assert first is not second
+        assert first.max_facts == 10
+        assert TierState(QosTier("open")).fresh_guard() is None
+
+
+class TestAdmission:
+    def test_slot_admits_and_releases(self):
+        state = TierState(QosTier("t", max_active=2))
+
+        async def scenario():
+            async with state.slot():
+                assert state.active == 1
+            assert state.active == 0
+            assert state.admitted == 1
+            assert state.rejected == 0
+
+        asyncio.run(scenario())
+
+    def test_full_queue_rejects_immediately(self):
+        state = TierState(QosTier("t", max_active=1, max_queued=0,
+                                   queue_timeout=5.0))
+
+        async def scenario():
+            async with state.slot():
+                with pytest.raises(AdmissionError) as caught:
+                    async with state.slot():
+                        pass
+            assert caught.value.tier == "t"
+            assert caught.value.budget == "admission"
+            assert state.rejected == 1
+            assert state.timed_out == 0
+
+        asyncio.run(scenario())
+
+    def test_busy_tier_times_out_after_queue_timeout(self):
+        state = TierState(QosTier("t", max_active=1, max_queued=4,
+                                   queue_timeout=0.05))
+
+        async def scenario():
+            async with state.slot():
+                with pytest.raises(AdmissionError):
+                    async with state.slot():
+                        pass
+            assert state.timed_out == 1
+            assert state.queued == 0  # the waiter was fully unwound
+
+        asyncio.run(scenario())
+
+    def test_zero_timeout_tier_still_admits_when_free(self):
+        # asyncio.wait_for(…, 0) always times out, so the fast path must
+        # bypass it — otherwise the admin tier could never be admitted.
+        state = TierState(QosTier("admin", max_active=1, max_queued=0,
+                                   queue_timeout=0.0))
+
+        async def scenario():
+            async with state.slot():
+                assert state.active == 1
+
+        asyncio.run(scenario())
+        assert state.admitted == 1
+
+    def test_released_slot_readmits_the_queue(self):
+        state = TierState(QosTier("t", max_active=1, max_queued=2,
+                                   queue_timeout=2.0))
+
+        async def scenario():
+            order = []
+
+            async def job(name, hold):
+                async with state.slot():
+                    order.append(name)
+                    await asyncio.sleep(hold)
+
+            await asyncio.gather(job("first", 0.05), job("second", 0))
+            return order
+
+        order = asyncio.run(scenario())
+        assert sorted(order) == ["first", "second"]
+        assert state.admitted == 2
+        assert state.rejected == 0
+
+    def test_stats_shape(self):
+        state = TierState(QosTier("t", max_active=3, max_queued=6))
+        stats = state.stats()
+        assert stats["tier"] == "t"
+        assert stats["max_active"] == 3
+        assert stats["max_queued"] == 6
+        for counter in ("active", "queued", "admitted", "rejected",
+                        "timed_out", "exhausted"):
+            assert stats[counter] == 0
